@@ -1,0 +1,30 @@
+//! Criterion benchmark of the §6 compressed-column kernels: exact vs
+//! small-table top-k and exact vs approximate mean.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pqfs_columnar::{approximate_mean, topk_max_fast, CompressedColumn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1_000_000;
+
+fn bench_columnar(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data: Vec<f32> = (0..N).map(|_| rng.gen_range(0.0f32..1000.0)).collect();
+    let column = CompressedColumn::compress(&data, 256);
+
+    let mut group = c.benchmark_group("columnar");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("topk10_exact", |b| b.iter(|| column.topk_max_exact(10)));
+    group.bench_function("topk10_small_tables", |b| b.iter(|| topk_max_fast(&column, 10)));
+    group.bench_function("mean_exact", |b| b.iter(|| column.exact_mean()));
+    group.bench_function("mean_approximate", |b| b.iter(|| approximate_mean(&column)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_columnar
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark of distance-table computation (Algorithm 1 step 2)
+//! and of the ADC distance itself — the costs the paper folds into the
+//! "<1 % of CPU time" steps.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pqfs_bench::Fixture;
+use pqfs_core::DistanceTables;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut fx = Fixture::train(1001);
+    let query = fx.queries(1);
+    let codes = fx.partition(1024);
+    let tables = fx.tables(&query);
+
+    let mut group = c.benchmark_group("distance_tables");
+    group.bench_function("compute_8x256_tables", |b| {
+        b.iter(|| DistanceTables::compute(&fx.pq, &query).unwrap())
+    });
+    group.throughput(Throughput::Elements(codes.len() as u64));
+    group.bench_function("adc_distance_1k_codes", |b| {
+        b.iter(|| {
+            let mut acc = 0f32;
+            for code in codes.iter() {
+                acc += tables.distance(code);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark of the clustering substrate: sub-quantizer training
+//! (Lloyd) and the same-size k-means used by the optimized assignment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pqfs_kmeans::{train, train_same_size, KMeansConfig, SameSizeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    // A sub-quantizer training set: 4096 vectors of d* = 16.
+    let train_set: Vec<f32> = (0..4096 * 16).map(|_| rng.gen_range(0.0f32..255.0)).collect();
+    // Centroid relabeling input: 256 centroids of d* = 16.
+    let centroids: Vec<f32> = (0..256 * 16).map(|_| rng.gen_range(0.0f32..255.0)).collect();
+
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    group.bench_function("lloyd_k256_n4096_d16", |b| {
+        b.iter(|| train(&train_set, 16, &KMeansConfig::new(256).with_seed(1)).unwrap())
+    });
+    group.bench_function("same_size_16x16_d16", |b| {
+        b.iter(|| train_same_size(&centroids, 16, &SameSizeConfig::new(16).with_seed(1)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

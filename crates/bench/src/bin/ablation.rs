@@ -1,0 +1,111 @@
+//! Ablation study (not in the paper; DESIGN.md §4): contribution of each
+//! Fast Scan ingredient on a fixed partition.
+//!
+//! * grouping components `c ∈ {0, 2, 3, 4}`;
+//! * §4.3 optimized centroid-index assignment on/off;
+//! * quantization bins 254 (full unsigned range) vs 126 (paper's signed
+//!   scheme);
+//! * kernel back-end portable vs SSSE3.
+//!
+//! ```sh
+//! cargo run --release -p pqfs-bench --bin ablation
+//! ```
+
+use pqfs_bench::{env_usize, header, scale, Fixture};
+use pqfs_metrics::{fmt_f, mvecs_per_sec, time_ms, Summary, TextTable};
+use pqfs_scan::{FastScanIndex, FastScanOptions, Kernel, ScanParams};
+
+fn measure(fx: &mut Fixture, index: &FastScanIndex, queries: usize) -> (f64, f64) {
+    let params = ScanParams::new(100).with_keep(0.005);
+    let mut pruned = Vec::new();
+    let mut speeds = Vec::new();
+    for _ in 0..queries {
+        let q = fx.queries(1);
+        let tables = fx.tables(&q);
+        let (r, ms) = time_ms(|| index.scan(&tables, &params).unwrap());
+        pruned.push(100.0 * r.stats.pruned_fraction());
+        speeds.push(mvecs_per_sec(index.len(), ms));
+    }
+    (Summary::from_values(&pruned).median(), Summary::from_values(&speeds).median())
+}
+
+fn main() {
+    let n = (1_000_000.0 * scale()) as usize;
+    let queries = env_usize("PQFS_QUERIES", 5);
+    header("ablation", "DESIGN.md §4 (extension)", &format!("partition {n}, topk 100, keep 0.5%"));
+
+    // --- grouping components --------------------------------------------
+    let mut fx = Fixture::train(99);
+    let codes = fx.partition(n);
+    println!("grouping components (c):");
+    let mut t = TextTable::new(vec!["c", "groups", "bytes/vec", "pruned [%]", "speed [Mv/s]"]);
+    for c in [0usize, 2, 3, 4] {
+        let index =
+            FastScanIndex::build(&codes, &FastScanOptions::default().with_group_components(c))
+                .expect("index");
+        let (pruned, speed) = measure(&mut fx, &index, queries);
+        t.row(vec![
+            c.to_string(),
+            index.num_groups().to_string(),
+            fmt_f(index.code_memory_bytes() as f64 / index.len() as f64, 2),
+            fmt_f(pruned, 2),
+            fmt_f(speed, 0),
+        ]);
+    }
+    println!("{t}");
+
+    // --- optimized assignment -------------------------------------------
+    println!("optimized centroid-index assignment (§4.3):");
+    let mut t = TextTable::new(vec!["assignment", "pruned [%]", "speed [Mv/s]"]);
+    for (name, optimized) in [("arbitrary", false), ("optimized", true)] {
+        let mut fx2 = if optimized { Fixture::train(99) } else { Fixture::train_unoptimized(99) };
+        let codes2 = fx2.partition(n);
+        let index = FastScanIndex::build(&codes2, &FastScanOptions::default()).expect("index");
+        let (pruned, speed) = measure(&mut fx2, &index, queries);
+        t.row(vec![name.to_string(), fmt_f(pruned, 2), fmt_f(speed, 0)]);
+    }
+    println!("{t}");
+
+    // --- quantization bins ----------------------------------------------
+    println!("distance-quantization bins (§4.4):");
+    let mut t = TextTable::new(vec!["bins", "pruned [%]", "speed [Mv/s]"]);
+    for bins in [126u16, 254] {
+        let index = FastScanIndex::build(&codes, &FastScanOptions::default().with_bins(bins))
+            .expect("index");
+        let (pruned, speed) = measure(&mut fx, &index, queries);
+        t.row(vec![bins.to_string(), fmt_f(pruned, 2), fmt_f(speed, 0)]);
+    }
+    println!("{t}");
+
+    // --- kernel back-end --------------------------------------------------
+    println!("kernel back-end:");
+    let mut t = TextTable::new(vec!["kernel", "pruned [%]", "speed [Mv/s]"]);
+    for (name, kernel) in
+        [("portable", Kernel::Portable), ("ssse3", Kernel::Ssse3), ("avx2", Kernel::Avx2)]
+    {
+        match FastScanIndex::build(&codes, &FastScanOptions::default().with_kernel(kernel)) {
+            Ok(index) => {
+                // An unavailable kernel fails at scan time; probe first.
+                let q = fx.queries(1);
+                let tables = fx.tables(&q);
+                if index.scan(&tables, &ScanParams::new(10)).is_err() {
+                    t.row(vec![name.to_string(), "unavailable".to_string(), String::new()]);
+                    continue;
+                }
+                let (pruned, speed) = measure(&mut fx, &index, queries);
+                t.row(vec![name.to_string(), fmt_f(pruned, 2), fmt_f(speed, 0)]);
+            }
+            Err(_) => {
+                t.row(vec![name.to_string(), "unavailable".to_string(), String::new()]);
+            }
+        }
+    }
+    println!("{t}");
+    println!(
+        "expected: c=4 maximizes speed at scale (fewer bytes/vector) with a \
+         mild pruning cost vs c=0 (exact portions everywhere); the optimized \
+         assignment adds pruning power for free; 254 bins prune at least as \
+         well as the paper's 126; SSSE3 is several times the portable speed \
+         with identical pruning."
+    );
+}

@@ -1,0 +1,113 @@
+//! Diagnostic tool: dissects one Fast Scan query — qmax quality, bound
+//! tightness per component, threshold evolution — to explain the observed
+//! pruning power.
+
+use pqfs_bench::{env_usize, Fixture};
+use pqfs_core::DistanceTables;
+use pqfs_scan::fastscan::grouping::{group_key, GroupedCodes};
+use pqfs_scan::fastscan::mintables::min_table;
+use pqfs_scan::{scan_naive, DistanceQuantizer, FastScanIndex, FastScanOptions, ScanParams};
+
+fn main() {
+    let n = env_usize("PQFS_N", 100_000);
+    let topk = env_usize("PQFS_TOPK", 100);
+    let mut fx = Fixture::train(42);
+    let codes = fx.partition(n);
+    let q = fx.queries(1);
+    let tables: DistanceTables = fx.tables(&q);
+
+    // True distance distribution.
+    let exact = scan_naive(&tables, &codes, n.min(codes.len()));
+    let dists = exact.distances();
+    let pct = |p: f64| dists[((dists.len() - 1) as f64 * p) as usize];
+    println!("distance distribution: min {:.0}  p1 {:.0}  p10 {:.0}  p50 {:.0}  p99 {:.0}  max {:.0}",
+        dists[0], pct(0.01), pct(0.10), pct(0.50), pct(0.99), *dists.last().unwrap());
+    let t_true = dists[topk - 1];
+    println!("true topk({topk})-th distance: {t_true:.0}");
+
+    // Strided warm-up sample quality.
+    let keep = 0.005;
+    let target = (keep * n as f64).ceil() as usize;
+    let stride = (n / target).max(1);
+    let mut sample: Vec<f32> = Vec::new();
+    // Grouped order sample (as the scan does).
+    let c = FastScanIndex::build(&codes, &FastScanOptions::default())
+        .unwrap()
+        .group_components();
+    let grouped = GroupedCodes::build(&codes, c);
+    for g in grouped.groups() {
+        let mut pos = g.start.div_ceil(stride) * stride;
+        while pos < g.start + g.len {
+            sample.push(tables.distance(codes.code(grouped.id(pos) as usize)));
+            pos += stride;
+        }
+    }
+    sample.sort_by(f32::total_cmp);
+    let qmax = if sample.len() >= topk { sample[topk - 1] } else { *sample.last().unwrap() };
+    println!(
+        "warm-up: {} samples, best {:.0}, topk-th {:.0}  -> qmax {:.0} ({}x the true topk-th)",
+        sample.len(),
+        sample[0],
+        qmax,
+        qmax,
+        qmax / t_true
+    );
+
+    // Quantizer setup.
+    let quant = DistanceQuantizer::new(&tables, qmax, 254);
+    let biases = tables.per_table_min();
+    let bias_sum: f32 = biases.iter().sum();
+    println!("sum of per-table mins: {bias_sum:.0}; qmax - biases = {:.0}", qmax - bias_sum);
+    println!("threshold at true topk-th: T = {}", quant.quantize_threshold(t_true));
+
+    // Bound tightness: for a sample of vectors, lower bound vs true
+    // distance using exact portions for 0..c and min tables for c..8.
+    let mins: Vec<Vec<f32>> = (0..8).map(|j| min_table(tables.table(j))).collect();
+    let mut tight = Vec::new();
+    let mut below = 0usize;
+    let t_q = quant.quantize_threshold(t_true);
+    for i in (0..n).step_by((n / 2000).max(1)) {
+        let code = codes.code(i);
+        let key = group_key(code, c);
+        let mut lb_f = 0f32;
+        let mut lb_q = 0u8;
+        for j in 0..8 {
+            let (v, bits) = if j < c {
+                (tables.table(j)[code[j] as usize], code[j])
+            } else {
+                (mins[j][(code[j] >> 4) as usize], code[j])
+            };
+            let _ = (key, bits);
+            lb_f += v;
+            lb_q = lb_q.saturating_add(quant.quantize_value(j, v));
+        }
+        let d = tables.distance(code);
+        tight.push((lb_f / d) as f64);
+        if lb_q <= t_q {
+            below += 1;
+        }
+    }
+    tight.sort_by(f64::total_cmp);
+    println!(
+        "lower-bound tightness lb/d: p10 {:.3}  p50 {:.3}  p90 {:.3}",
+        tight[tight.len() / 10],
+        tight[tight.len() / 2],
+        tight[9 * tight.len() / 10]
+    );
+    println!(
+        "fraction of sampled vectors with quantized lb <= T(true topk-th): {:.3} \
+         (ideal pruning = 1 - this)",
+        below as f64 / tight.len() as f64
+    );
+
+    // Actual scan stats.
+    let index = FastScanIndex::build(&codes, &FastScanOptions::default()).unwrap();
+    let r = index.scan(&tables, &ScanParams::new(topk).with_keep(keep)).unwrap();
+    println!(
+        "actual scan: warmup {} pruned {} verified {} -> pruning power {:.3}",
+        r.stats.warmup,
+        r.stats.pruned,
+        r.stats.verified,
+        r.stats.pruned_fraction()
+    );
+}

@@ -1,0 +1,212 @@
+//! `pqfs` — command-line front end for the PQ Fast Scan reproduction.
+//!
+//! ```text
+//! pqfs gen     --out base.fvecs --n 100000 [--dim 128] [--seed 0]
+//! pqfs build   --base base.fvecs --out index.pqiv [--train train.fvecs]
+//!              [--partitions 8] [--seed 0]
+//! pqfs info    --index index.pqiv
+//! pqfs query   --index index.pqiv --queries q.fvecs [--topk 100]
+//!              [--backend fastscan|naive|libpq] [--keep 0.005] [--nprobe 1]
+//! ```
+//!
+//! Vector files use the TEXMEX `.fvecs` format (ANN_SIFT1B's float format),
+//! so the real corpus drops in directly.
+
+use pqfs_data::{read_fvecs, write_fvecs, SyntheticConfig, SyntheticDataset};
+use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
+use pqfs_metrics::{fmt_count, time_ms, Summary};
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1);
+    let Some(command) = raw.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&args),
+        "build" => cmd_build(&args),
+        "info" => cmd_info(&args),
+        "query" => cmd_query(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "pqfs — product-quantization fast scan toolbox
+
+USAGE:
+  pqfs gen    --out <file.fvecs> --n <count> [--dim 128] [--seed 0]
+  pqfs build  --base <file.fvecs> --out <index.pqiv>
+              [--train <file.fvecs>] [--partitions 8] [--seed 0]
+  pqfs info   --index <index.pqiv>
+  pqfs query  --index <index.pqiv> --queries <file.fvecs> [--topk 100]
+              [--backend fastscan|naive|libpq] [--keep 0.005] [--nprobe 1]";
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let n = args.usize("n", 0)?;
+    if n == 0 {
+        return Err("--n must be positive".into());
+    }
+    let dim = args.usize("dim", 128)?;
+    let seed = args.u64("seed", 0)?;
+    let cfg = SyntheticConfig::sift_like().with_dim(dim).with_seed(seed);
+    let data = SyntheticDataset::new(&cfg).sample(n);
+    write_fvecs(&out, &data, dim).map_err(|e| e.to_string())?;
+    println!("wrote {} vectors of dim {dim} to {out}", fmt_count(n as u64));
+    Ok(())
+}
+
+fn cmd_build(args: &Args) -> Result<(), String> {
+    let base_path = args.require("base")?;
+    let out = args.require("out")?;
+    let partitions = args.usize("partitions", 8)?;
+    let seed = args.u64("seed", 0)?;
+
+    let base = read_fvecs(&base_path).map_err(|e| format!("reading {base_path}: {e}"))?;
+    if base.is_empty() {
+        return Err("base file holds no vectors".into());
+    }
+    let dim = base.dim;
+    if dim % 8 != 0 {
+        return Err(format!("dim {dim} is not a multiple of 8 (PQ 8x8 requires it)"));
+    }
+
+    // Training set: explicit file, or a sample of the base.
+    let train: Vec<f32> = match args.get("train") {
+        Some(path) => {
+            let t = read_fvecs(path).map_err(|e| format!("reading {path}: {e}"))?;
+            if t.dim != dim {
+                return Err(format!("train dim {} != base dim {dim}", t.dim));
+            }
+            t.data
+        }
+        None => {
+            let want = 20_000.min(base.len());
+            let stride = (base.len() / want).max(1);
+            let mut sample = Vec::with_capacity(want * dim);
+            for i in (0..base.len()).step_by(stride) {
+                sample.extend_from_slice(&base.data[i * dim..(i + 1) * dim]);
+            }
+            sample
+        }
+    };
+
+    println!(
+        "building: {} base vectors, dim {dim}, {partitions} partitions",
+        fmt_count(base.len() as u64)
+    );
+    let config = IvfadcConfig::new(dim, partitions).with_seed(seed);
+    let (index, ms) = time_ms(|| IvfadcIndex::build(&train, &base.data, &config));
+    let index = index.map_err(|e| e.to_string())?;
+    println!("built in {:.1} s", ms / 1e3);
+    index.save_file(&out).map_err(|e| e.to_string())?;
+    println!("saved to {out}");
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.require("index")?;
+    let index = IvfadcIndex::load_file(&path).map_err(|e| e.to_string())?;
+    let sizes = index.partition_sizes();
+    println!("index: {path}");
+    println!("  vectors     : {}", fmt_count(index.len() as u64));
+    println!("  dim         : {}", index.coarse().dim());
+    println!("  pq          : {}", index.pq().config());
+    println!("  partitions  : {}", index.num_partitions());
+    println!(
+        "  sizes       : min {} / avg {} / max {}",
+        sizes.iter().min().unwrap_or(&0),
+        if sizes.is_empty() { 0 } else { sizes.iter().sum::<usize>() / sizes.len() },
+        sizes.iter().max().unwrap_or(&0)
+    );
+    println!("  fast scan   : {}", if index.has_fastscan() { "yes" } else { "no" });
+    println!(
+        "  code memory : {} bytes (row-major) / {} bytes (grouped)",
+        fmt_count(index.code_memory_bytes(SearchBackend::Naive) as u64),
+        fmt_count(index.code_memory_bytes(SearchBackend::FastScan) as u64)
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let index_path = args.require("index")?;
+    let query_path = args.require("queries")?;
+    let topk = args.usize("topk", 100)?;
+    let keep = args.f64("keep", 0.005)?;
+    let nprobe = args.usize("nprobe", 1)?;
+    let backend = match args.get("backend").map(String::as_str).unwrap_or("fastscan") {
+        "fastscan" => SearchBackend::FastScan,
+        "naive" => SearchBackend::Naive,
+        "libpq" => SearchBackend::Libpq,
+        other => return Err(format!("unknown backend '{other}'")),
+    };
+
+    let index = IvfadcIndex::load_file(&index_path).map_err(|e| e.to_string())?;
+    let queries = read_fvecs(&query_path).map_err(|e| e.to_string())?;
+    if queries.dim != index.coarse().dim() {
+        return Err(format!(
+            "query dim {} != index dim {}",
+            queries.dim,
+            index.coarse().dim()
+        ));
+    }
+
+    let mut times = Vec::new();
+    for (qi, q) in queries.data.chunks_exact(queries.dim).enumerate() {
+        let (outcome, ms) = time_ms(|| {
+            if nprobe > 1 {
+                index.search_probes(q, topk, backend, keep, nprobe)
+            } else {
+                index.search(q, topk, backend, keep)
+            }
+        });
+        let outcome = outcome.map_err(|e| e.to_string())?;
+        times.push(ms);
+        let preview: Vec<String> = outcome
+            .neighbors
+            .iter()
+            .take(5)
+            .map(|n| format!("{}:{:.1}", n.id, n.dist))
+            .collect();
+        println!(
+            "query {qi}: partition {} | {:.2} ms | pruned {:.1}% | top: {}",
+            outcome.partition,
+            ms,
+            100.0 * outcome.stats.pruned_fraction(),
+            preview.join(" ")
+        );
+    }
+    if times.len() > 1 {
+        let s = Summary::from_values(&times);
+        println!(
+            "\n{} queries: mean {:.2} ms | median {:.2} ms | p95 {:.2} ms",
+            times.len(),
+            s.mean(),
+            s.median(),
+            s.percentile(95.0)
+        );
+    }
+    Ok(())
+}

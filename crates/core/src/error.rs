@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Errors reported by the product-quantization core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PqError {
+    /// Invalid `PQ m×b` shape.
+    BadConfig {
+        /// Vector dimensionality.
+        dim: usize,
+        /// Number of sub-quantizers.
+        m: usize,
+        /// Bits per component.
+        nbits: u8,
+    },
+    /// The configuration cannot be trained (e.g. `nbits > 8`).
+    Untrainable {
+        /// Bits per component of the offending configuration.
+        nbits: u8,
+    },
+    /// A vector had the wrong dimensionality.
+    DimMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Actual slice length.
+        actual: usize,
+    },
+    /// A code had the wrong number of components.
+    CodeLenMismatch {
+        /// Expected number of components (`m`).
+        expected: usize,
+        /// Actual code length.
+        actual: usize,
+    },
+    /// Training-set shape or size problem, wrapping the k-means diagnosis.
+    Training(pqfs_kmeans::KMeansError),
+    /// The optimized assignment needs `k*` divisible by the portion size.
+    BadPortioning {
+        /// Centroids per sub-quantizer.
+        ksub: usize,
+        /// Requested number of portions.
+        portions: usize,
+    },
+}
+
+impl fmt::Display for PqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PqError::BadConfig { dim, m, nbits } => write!(
+                f,
+                "invalid PQ configuration: dim={dim}, m={m}, nbits={nbits} \
+                 (need dim > 0, m > 0, 1 <= nbits <= 16, dim % m == 0)"
+            ),
+            PqError::Untrainable { nbits } => write!(
+                f,
+                "configuration with nbits={nbits} cannot be trained (codes are byte-packed, nbits <= 8)"
+            ),
+            PqError::DimMismatch { expected, actual } => {
+                write!(f, "vector has {actual} dimensions, expected {expected}")
+            }
+            PqError::CodeLenMismatch { expected, actual } => {
+                write!(f, "code has {actual} components, expected {expected}")
+            }
+            PqError::Training(e) => write!(f, "sub-quantizer training failed: {e}"),
+            PqError::BadPortioning { ksub, portions } => write!(
+                f,
+                "cannot split {ksub} centroids into {portions} equal portions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PqError::Training(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pqfs_kmeans::KMeansError> for PqError {
+    fn from(e: pqfs_kmeans::KMeansError) -> Self {
+        PqError::Training(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = PqError::BadConfig { dim: 130, m: 8, nbits: 8 };
+        assert!(e.to_string().contains("130"));
+        let e = PqError::Training(pqfs_kmeans::KMeansError::EmptyInput);
+        assert!(e.to_string().contains("training failed"));
+    }
+
+    #[test]
+    fn source_chains_to_kmeans_error() {
+        use std::error::Error;
+        let e = PqError::Training(pqfs_kmeans::KMeansError::EmptyInput);
+        assert!(e.source().is_some());
+        assert!(PqError::Untrainable { nbits: 16 }.source().is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Binary persistence for trained quantizers.
+//!
+//! Training a product quantizer over millions of vectors takes minutes;
+//! production deployments train once and serve many processes. This module
+//! defines a small versioned little-endian format:
+//!
+//! ```text
+//! magic  "PQFS"            4 bytes
+//! version u32              currently 1
+//! dim     u64
+//! m       u64
+//! nbits   u8
+//! m × (ksub × dsub) f32    codebooks, row-major
+//! ```
+//!
+//! The format stores exactly the information [`ProductQuantizer`] holds; a
+//! loaded quantizer is bit-identical to the saved one (encode/decode/ADC
+//! all agree).
+
+use crate::codebook::Codebook;
+use crate::config::PqConfig;
+use crate::pq::ProductQuantizer;
+use crate::PqError;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PQFS";
+const VERSION: u32 = 1;
+
+/// Errors from quantizer persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Structurally invalid or incompatible file.
+    Format(String),
+    /// The stored configuration is invalid.
+    Config(PqError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(msg) => write!(f, "format error: {msg}"),
+            PersistError::Config(e) => write!(f, "stored configuration invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Config(e) => Some(e),
+            PersistError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes a trained quantizer to `w`.
+pub fn save_pq(pq: &ProductQuantizer, w: &mut impl Write) -> Result<(), PersistError> {
+    let cfg = pq.config();
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(cfg.dim() as u64).to_le_bytes())?;
+    w.write_all(&(cfg.m() as u64).to_le_bytes())?;
+    w.write_all(&[cfg.nbits()])?;
+    for j in 0..cfg.m() {
+        for &v in pq.codebook(j).centroids() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a quantizer previously written by [`save_pq`].
+///
+/// # Errors
+///
+/// [`PersistError::Format`] for bad magic/version/truncation;
+/// [`PersistError::Config`] if the stored shape is invalid.
+pub fn load_pq(r: &mut impl Read) -> Result<ProductQuantizer, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format(format!("bad magic {magic:?}")));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let dim = read_u64(r)? as usize;
+    let m = read_u64(r)? as usize;
+    let mut nbits = [0u8; 1];
+    r.read_exact(&mut nbits)?;
+    let config = PqConfig::new(dim, m, nbits[0]).map_err(PersistError::Config)?;
+    if !config.trainable() {
+        return Err(PersistError::Format(format!(
+            "stored nbits {} exceeds the byte-code limit",
+            nbits[0]
+        )));
+    }
+
+    let dsub = config.dsub();
+    let ksub = config.ksub();
+    let mut codebooks = Vec::with_capacity(m);
+    let mut buf = vec![0u8; ksub * dsub * 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf)
+            .map_err(|_| PersistError::Format("truncated codebook data".into()))?;
+        let centroids: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+            .collect();
+        if centroids.iter().any(|v| !v.is_finite()) {
+            return Err(PersistError::Format("non-finite centroid".into()));
+        }
+        codebooks.push(Codebook::new(centroids, dsub));
+    }
+    // Reject trailing garbage so corrupted files fail loudly.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(ProductQuantizer::from_codebooks(config, codebooks)),
+        _ => Err(PersistError::Format("trailing bytes after codebooks".into())),
+    }
+}
+
+/// Saves a quantizer to a file.
+pub fn save_pq_file(pq: &ProductQuantizer, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    save_pq(pq, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a quantizer from a file.
+pub fn load_pq_file(path: impl AsRef<Path>) -> Result<ProductQuantizer, PersistError> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    load_pq(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained() -> ProductQuantizer {
+        let mut rng = StdRng::seed_from_u64(77);
+        let config = PqConfig::new(16, 4, 4).unwrap();
+        let data: Vec<f32> = (0..300 * 16).map(|_| rng.gen_range(0.0f32..255.0)).collect();
+        ProductQuantizer::train(&data, &config, 3).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_quantizer_exactly() {
+        let pq = trained();
+        let mut buf = Vec::new();
+        save_pq(&pq, &mut buf).unwrap();
+        let loaded = load_pq(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.config(), pq.config());
+        for j in 0..4 {
+            assert_eq!(loaded.codebook(j).centroids(), pq.codebook(j).centroids());
+        }
+        // Behavioral equality on a probe vector.
+        let v = vec![42.5f32; 16];
+        assert_eq!(loaded.encode(&v), pq.encode(&v));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let pq = trained();
+        let mut path = std::env::temp_dir();
+        path.push(format!("pqfs-persist-{}.pqfs", std::process::id()));
+        save_pq_file(&pq, &path).unwrap();
+        let loaded = load_pq_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.config(), pq.config());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let pq = trained();
+        let mut buf = Vec::new();
+        save_pq(&pq, &mut buf).unwrap();
+
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            load_pq(&mut bad_magic.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+
+        let mut bad_version = buf.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            load_pq(&mut bad_version.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let pq = trained();
+        let mut buf = Vec::new();
+        save_pq(&pq, &mut buf).unwrap();
+
+        let truncated = &buf[..buf.len() - 5];
+        assert!(load_pq(&mut &truncated[..]).is_err());
+
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(matches!(
+            load_pq(&mut padded.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_stored_config() {
+        // Handcraft a header with dim not divisible by m.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PQFS");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&17u64.to_le_bytes()); // dim 17
+        buf.extend_from_slice(&4u64.to_le_bytes()); // m 4
+        buf.push(4); // nbits
+        assert!(matches!(
+            load_pq(&mut buf.as_slice()),
+            Err(PersistError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_centroids() {
+        let pq = trained();
+        let mut buf = Vec::new();
+        save_pq(&pq, &mut buf).unwrap();
+        // Overwrite the first centroid float with NaN.
+        let header = 4 + 4 + 8 + 8 + 1;
+        buf[header..header + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert!(matches!(
+            load_pq(&mut buf.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+    }
+}

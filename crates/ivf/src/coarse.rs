@@ -1,0 +1,152 @@
+//! The coarse quantizer: a plain vector quantizer whose Voronoi cells form
+//! the database partitions (paper §2.2).
+//!
+//! IVFADC directs each query to the partition of the coarse centroid the
+//! query falls closest to (Algorithm 1, step 1); the PQ then encodes the
+//! *residual* `x − c(x)` rather than `x` itself, following \[14\].
+
+use crate::IvfError;
+use pqfs_kmeans::{train, KMeans, KMeansConfig};
+
+/// A trained coarse quantizer.
+#[derive(Debug, Clone)]
+pub struct CoarseQuantizer {
+    model: KMeans,
+}
+
+impl CoarseQuantizer {
+    /// Trains a coarse quantizer with `partitions` centroids on row-major
+    /// training vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`IvfError::Coarse`] on k-means failures (too few vectors, NaNs, …).
+    pub fn train(
+        data: &[f32],
+        dim: usize,
+        partitions: usize,
+        seed: u64,
+    ) -> Result<Self, IvfError> {
+        let cfg = KMeansConfig::new(partitions).with_seed(seed).with_max_iters(30);
+        Ok(CoarseQuantizer { model: train(data, dim, &cfg)? })
+    }
+
+    /// Rebuilds a coarse quantizer from a stored centroid matrix
+    /// (row-major `partitions × dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or not a multiple of `dim`.
+    pub fn from_centroids(centroids: Vec<f32>, dim: usize) -> Self {
+        CoarseQuantizer { model: KMeans::from_centroids(centroids, dim) }
+    }
+
+    /// Number of partitions (Voronoi cells).
+    pub fn partitions(&self) -> usize {
+        self.model.k()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// The centroid of partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= partitions()`.
+    pub fn centroid(&self, p: usize) -> &[f32] {
+        self.model.centroid(p)
+    }
+
+    /// Index of the partition whose centroid is nearest to `v` (Algorithm 1
+    /// step 1: `index_get_partition`).
+    pub fn assign(&self, v: &[f32]) -> usize {
+        self.model.assign(v).0
+    }
+
+    /// The `w` partitions nearest to `v`, ascending by centroid distance
+    /// (multi-probe selection, as in the original IVFADC \[14\]).
+    pub fn assign_multi(&self, v: &[f32], w: usize) -> Vec<usize> {
+        let k = self.partitions();
+        let mut scored: Vec<(f32, usize)> = (0..k)
+            .map(|p| {
+                let c = self.centroid(p);
+                let d: f32 = v.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, p)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored.truncate(w.max(1).min(k));
+        scored.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Writes the residual `v − centroid(p)` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the quantizer dimensionality.
+    pub fn residual_into(&self, v: &[f32], p: usize, out: &mut [f32]) {
+        let c = self.centroid(p);
+        assert_eq!(v.len(), c.len());
+        assert_eq!(out.len(), c.len());
+        for ((slot, &x), &mu) in out.iter_mut().zip(v).zip(c) {
+            *slot = x - mu;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs() -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(4);
+        let centers = [[0.0f32, 0.0], [100.0, 0.0], [0.0, 100.0]];
+        let mut data = Vec::new();
+        for c in &centers {
+            for _ in 0..40 {
+                data.push(c[0] + rng.gen_range(-2.0..2.0));
+                data.push(c[1] + rng.gen_range(-2.0..2.0));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn assigns_points_to_their_blob() {
+        let data = blobs();
+        let cq = CoarseQuantizer::train(&data, 2, 3, 1).unwrap();
+        assert_eq!(cq.partitions(), 3);
+        let a = cq.assign(&[1.0, 1.0]);
+        let b = cq.assign(&[99.0, 1.0]);
+        let c = cq.assign(&[0.5, 98.0]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn residual_is_vector_minus_centroid() {
+        let data = blobs();
+        let cq = CoarseQuantizer::train(&data, 2, 3, 1).unwrap();
+        let v = [5.0f32, -3.0];
+        let p = cq.assign(&v);
+        let mut residual = [0f32; 2];
+        cq.residual_into(&v, p, &mut residual);
+        let c = cq.centroid(p);
+        assert_eq!(residual[0], v[0] - c[0]);
+        assert_eq!(residual[1], v[1] - c[1]);
+    }
+
+    #[test]
+    fn training_errors_propagate() {
+        assert!(matches!(
+            CoarseQuantizer::train(&[], 2, 2, 0),
+            Err(IvfError::Coarse(_))
+        ));
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors reported by the IVFADC index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IvfError {
+    /// Invalid build configuration.
+    Config(String),
+    /// Vector dimensionality mismatch.
+    DimMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Offending length.
+        actual: usize,
+    },
+    /// Coarse-quantizer training failure.
+    Coarse(pqfs_kmeans::KMeansError),
+    /// Product-quantizer failure.
+    Pq(pqfs_core::PqError),
+    /// Scan-layer failure.
+    Scan(pqfs_scan::ScanError),
+}
+
+impl fmt::Display for IvfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IvfError::Config(msg) => write!(f, "invalid IVFADC configuration: {msg}"),
+            IvfError::DimMismatch { expected, actual } => {
+                write!(f, "vector has {actual} values, expected dimensionality {expected}")
+            }
+            IvfError::Coarse(e) => write!(f, "coarse quantizer training failed: {e}"),
+            IvfError::Pq(e) => write!(f, "product quantizer failed: {e}"),
+            IvfError::Scan(e) => write!(f, "scan failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IvfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IvfError::Coarse(e) => Some(e),
+            IvfError::Pq(e) => Some(e),
+            IvfError::Scan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pqfs_kmeans::KMeansError> for IvfError {
+    fn from(e: pqfs_kmeans::KMeansError) -> Self {
+        IvfError::Coarse(e)
+    }
+}
+
+impl From<pqfs_core::PqError> for IvfError {
+    fn from(e: pqfs_core::PqError) -> Self {
+        IvfError::Pq(e)
+    }
+}
+
+impl From<pqfs_scan::ScanError> for IvfError {
+    fn from(e: pqfs_scan::ScanError) -> Self {
+        IvfError::Scan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        use std::error::Error;
+        let e = IvfError::Coarse(pqfs_kmeans::KMeansError::EmptyInput);
+        assert!(e.to_string().contains("coarse"));
+        assert!(e.source().is_some());
+        assert!(IvfError::Config("bad".into()).source().is_none());
+    }
+}

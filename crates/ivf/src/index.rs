@@ -1,0 +1,608 @@
+//! The IVFADC index: inverted lists of residual PQ codes and the three-step
+//! query pipeline of the paper's Algorithm 1.
+
+use crate::coarse::CoarseQuantizer;
+use crate::IvfError;
+use pqfs_core::{DistanceTables, Neighbor, PqConfig, ProductQuantizer, RowMajorCodes};
+use pqfs_scan::{
+    scan_libpq, scan_naive, FastScanIndex, FastScanOptions, ScanParams, ScanResult, ScanStats,
+};
+
+/// Which scan implementation answers queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchBackend {
+    /// Algorithm 1 as written.
+    Naive,
+    /// The libpq word-load variant (§3.1); requires `PQ 8×8`.
+    Libpq,
+    /// PQ Fast Scan (§4); requires `PQ 8×8` and
+    /// [`IvfadcConfig::fastscan`] at build time.
+    #[default]
+    FastScan,
+}
+
+/// Build configuration.
+#[derive(Debug, Clone)]
+pub struct IvfadcConfig {
+    /// Number of coarse partitions (the paper uses 8 for ANN_SIFT100M1 and
+    /// 128 for ANN_SIFT1B).
+    pub partitions: usize,
+    /// Product-quantizer shape (the scan kernels want [`PqConfig::pq8x8`]).
+    pub pq: PqConfig,
+    /// Seed for every training stage.
+    pub seed: u64,
+    /// Apply the §4.3 optimized centroid-index assignment after PQ
+    /// training (required for tight Fast Scan minimum tables).
+    pub optimize_assignment: bool,
+    /// Build per-partition Fast Scan indexes (`None` disables the
+    /// [`SearchBackend::FastScan`] backend).
+    pub fastscan: Option<FastScanOptions>,
+}
+
+impl IvfadcConfig {
+    /// The paper's configuration: `PQ 8×8`, optimized assignment, Fast Scan
+    /// enabled.
+    pub fn new(dim: usize, partitions: usize) -> Self {
+        IvfadcConfig {
+            partitions,
+            pq: PqConfig::pq8x8(dim),
+            seed: 0,
+            optimize_assignment: true,
+            fastscan: Some(FastScanOptions::default()),
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One inverted list: the global ids and residual codes of a partition.
+#[derive(Debug, Clone)]
+struct Partition {
+    ids: Vec<u64>,
+    codes: RowMajorCodes,
+    fastscan: Option<FastScanIndex>,
+}
+
+/// Result of one ANN query.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Nearest neighbors with **global** base-set ids, ascending by
+    /// `(distance, id)`.
+    pub neighbors: Vec<Neighbor>,
+    /// Scan statistics of step 3.
+    pub stats: ScanStats,
+    /// The partition that was scanned.
+    pub partition: usize,
+}
+
+/// The IVFADC index (paper §2.2, \[14\]).
+#[derive(Debug, Clone)]
+pub struct IvfadcIndex {
+    coarse: CoarseQuantizer,
+    pq: ProductQuantizer,
+    partitions: Vec<Partition>,
+    dim: usize,
+}
+
+impl IvfadcIndex {
+    /// Builds the index: trains the coarse quantizer and the (residual)
+    /// product quantizer on `train`, then encodes and distributes `base`.
+    ///
+    /// # Errors
+    ///
+    /// Training/encoding failures ([`IvfError::Coarse`], [`IvfError::Pq`]),
+    /// or [`IvfError::Config`]/[`IvfError::DimMismatch`] for shape problems.
+    pub fn build(train: &[f32], base: &[f32], config: &IvfadcConfig) -> Result<Self, IvfError> {
+        let dim = config.pq.dim();
+        if config.partitions == 0 {
+            return Err(IvfError::Config("partitions must be positive".into()));
+        }
+        if train.is_empty() || train.len() % dim != 0 {
+            return Err(IvfError::DimMismatch { expected: dim, actual: train.len() });
+        }
+        if base.len() % dim != 0 {
+            return Err(IvfError::DimMismatch { expected: dim, actual: base.len() });
+        }
+
+        // Stage 1: coarse quantizer over the raw training vectors.
+        let coarse = CoarseQuantizer::train(train, dim, config.partitions, config.seed)?;
+
+        // Stage 2: product quantizer over training residuals.
+        let mut residuals = vec![0f32; train.len()];
+        for (v, r) in train.chunks_exact(dim).zip(residuals.chunks_exact_mut(dim)) {
+            let p = coarse.assign(v);
+            coarse.residual_into(v, p, r);
+        }
+        let mut pq = ProductQuantizer::train(&residuals, &config.pq, config.seed ^ 0x9E37)?;
+        if config.optimize_assignment {
+            pq.optimize_assignment(16, config.seed ^ 0x79B9)?;
+        }
+
+        // Stage 3: encode the base set into inverted lists.
+        let mut members: Vec<Vec<u64>> = vec![Vec::new(); config.partitions];
+        let mut assignment = Vec::with_capacity(base.len() / dim);
+        for (i, v) in base.chunks_exact(dim).enumerate() {
+            let p = coarse.assign(v);
+            members[p].push(i as u64);
+            assignment.push(p);
+        }
+        let m = config.pq.m();
+        let mut partitions = Vec::with_capacity(config.partitions);
+        let mut residual = vec![0f32; dim];
+        for (p, ids) in members.into_iter().enumerate() {
+            let mut codes = vec![0u8; ids.len() * m];
+            for (slot, &id) in ids.iter().enumerate() {
+                let v = &base[id as usize * dim..(id as usize + 1) * dim];
+                coarse.residual_into(v, p, &mut residual);
+                pq.encode_into(&residual, &mut codes[slot * m..(slot + 1) * m]);
+            }
+            let codes = RowMajorCodes::new(codes, m);
+            let fastscan = match &config.fastscan {
+                Some(opts) if m == 8 => Some(FastScanIndex::build(&codes, opts)?),
+                _ => None,
+            };
+            partitions.push(Partition { ids, codes, fastscan });
+        }
+
+        Ok(IvfadcIndex { coarse, pq, partitions, dim })
+    }
+
+    /// Answers an ANN query: selects the most relevant partition (step 1),
+    /// computes the residual distance tables (step 2) and scans (step 3).
+    ///
+    /// # Errors
+    ///
+    /// [`IvfError::DimMismatch`] for bad queries, [`IvfError::Config`] when
+    /// the requested backend was not built, [`IvfError::Scan`] on kernel
+    /// errors.
+    pub fn search(
+        &self,
+        query: &[f32],
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+    ) -> Result<SearchOutcome, IvfError> {
+        if query.len() != self.dim {
+            return Err(IvfError::DimMismatch { expected: self.dim, actual: query.len() });
+        }
+        if topk == 0 {
+            return Err(IvfError::Config("topk must be positive".into()));
+        }
+        let p = self.coarse.assign(query);
+        let (neighbors, stats) = self.scan_partition(query, p, topk, backend, keep)?;
+        Ok(SearchOutcome { neighbors, stats, partition: p })
+    }
+
+    /// Multi-probe search: scans the `nprobe` partitions nearest to the
+    /// query and merges their results — the `w`-cell visiting strategy of
+    /// the original IVFADC \[14\], which trades scan time for recall when a
+    /// neighbor falls just across a Voronoi boundary.
+    ///
+    /// `SearchOutcome::partition` reports the nearest (first) probed cell;
+    /// `stats` accumulates over all probed cells.
+    ///
+    /// # Errors
+    ///
+    /// As [`search`](Self::search), plus [`IvfError::Config`] for
+    /// `nprobe == 0`.
+    pub fn search_probes(
+        &self,
+        query: &[f32],
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+        nprobe: usize,
+    ) -> Result<SearchOutcome, IvfError> {
+        if query.len() != self.dim {
+            return Err(IvfError::DimMismatch { expected: self.dim, actual: query.len() });
+        }
+        if topk == 0 || nprobe == 0 {
+            return Err(IvfError::Config("topk and nprobe must be positive".into()));
+        }
+        let probes = self.coarse.assign_multi(query, nprobe);
+        let mut merged = pqfs_core::TopK::new(topk);
+        let mut stats = ScanStats::default();
+        for &p in &probes {
+            let (neighbors, s) = self.scan_partition(query, p, topk, backend, keep)?;
+            for n in neighbors {
+                merged.push(n.dist, n.id);
+            }
+            stats.scanned += s.scanned;
+            stats.pruned += s.pruned;
+            stats.verified += s.verified;
+            stats.warmup += s.warmup;
+        }
+        Ok(SearchOutcome { neighbors: merged.into_sorted(), stats, partition: probes[0] })
+    }
+
+    /// Answers a batch of row-major queries in parallel across `threads`
+    /// OS threads (paper §3.1: "PQ Scan parallelizes naturally over
+    /// multiple queries by running each query on a different core").
+    ///
+    /// # Errors
+    ///
+    /// First error encountered by any query, or
+    /// [`IvfError::DimMismatch`] if the batch is not a multiple of `dim`.
+    pub fn search_batch(
+        &self,
+        queries: &[f32],
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+        threads: usize,
+    ) -> Result<Vec<SearchOutcome>, IvfError> {
+        if queries.len() % self.dim != 0 {
+            return Err(IvfError::DimMismatch { expected: self.dim, actual: queries.len() });
+        }
+        let n = queries.len() / self.dim;
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 {
+            return queries
+                .chunks_exact(self.dim)
+                .map(|q| self.search(q, topk, backend, keep))
+                .collect();
+        }
+        let chunk_rows = n.div_ceil(threads);
+        let mut results: Vec<Result<Vec<SearchOutcome>, IvfError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk_rows * self.dim)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .chunks_exact(self.dim)
+                            .map(|q| self.search(q, topk, backend, keep))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("search thread panicked"));
+            }
+        });
+        let mut flat = Vec::with_capacity(n);
+        for r in results {
+            flat.extend(r?);
+        }
+        Ok(flat)
+    }
+
+    /// Scans one partition for `query` and returns global-id neighbors.
+    fn scan_partition(
+        &self,
+        query: &[f32],
+        p: usize,
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+    ) -> Result<(Vec<Neighbor>, ScanStats), IvfError> {
+        let partition = &self.partitions[p];
+        if partition.ids.is_empty() {
+            return Ok((Vec::new(), ScanStats::default()));
+        }
+
+        // Step 2: distance tables on the query residual.
+        let mut residual = vec![0f32; self.dim];
+        self.coarse.residual_into(query, p, &mut residual);
+        let tables = DistanceTables::compute(&self.pq, &residual)?;
+
+        // Step 3: scan.
+        let result: ScanResult = match backend {
+            SearchBackend::Naive => scan_naive(&tables, &partition.codes, topk),
+            SearchBackend::Libpq => scan_libpq(&tables, &partition.codes, topk),
+            SearchBackend::FastScan => {
+                let index = partition.fastscan.as_ref().ok_or_else(|| {
+                    IvfError::Config("index was built without fast-scan support".into())
+                })?;
+                index.scan(&tables, &ScanParams::new(topk).with_keep(keep))?
+            }
+        };
+
+        // Translate partition positions to global ids.
+        let neighbors = result
+            .neighbors
+            .into_iter()
+            .map(|n| Neighbor { dist: n.dist, id: partition.ids[n.id as usize] })
+            .collect();
+        Ok((neighbors, result.stats))
+    }
+
+    /// Rebuilds an index from stored parts (used by persistence).
+    ///
+    /// `partitions` holds `(global ids, row-major code bytes)` per cell;
+    /// Fast Scan sub-indexes are rebuilt when `fastscan` is set and the
+    /// quantizer is `PQ 8×8`.
+    ///
+    /// # Errors
+    ///
+    /// [`IvfError::Config`] when shapes disagree, [`IvfError::Scan`] if a
+    /// Fast Scan rebuild fails.
+    pub(crate) fn from_parts(
+        coarse: CoarseQuantizer,
+        pq: ProductQuantizer,
+        partitions: Vec<(Vec<u64>, Vec<u8>)>,
+        fastscan: bool,
+    ) -> Result<Self, IvfError> {
+        if coarse.partitions() != partitions.len() {
+            return Err(IvfError::Config(format!(
+                "coarse quantizer has {} cells but {} partitions were provided",
+                coarse.partitions(),
+                partitions.len()
+            )));
+        }
+        let dim = pq.config().dim();
+        if coarse.dim() != dim {
+            return Err(IvfError::Config("coarse/pq dimensionality mismatch".into()));
+        }
+        let m = pq.config().m();
+        let mut built = Vec::with_capacity(partitions.len());
+        for (ids, bytes) in partitions {
+            if bytes.len() != ids.len() * m {
+                return Err(IvfError::Config("partition code length mismatch".into()));
+            }
+            let codes = RowMajorCodes::new(bytes, m);
+            let fs = if fastscan && m == 8 {
+                Some(FastScanIndex::build(&codes, &FastScanOptions::default())?)
+            } else {
+                None
+            };
+            built.push(Partition { ids, codes, fastscan: fs });
+        }
+        Ok(IvfadcIndex { coarse, pq, partitions: built, dim })
+    }
+
+    /// Whether per-partition Fast Scan indexes exist.
+    pub fn has_fastscan(&self) -> bool {
+        self.partitions.iter().all(|p| p.fastscan.is_some() || p.ids.is_empty())
+            && self.partitions.iter().any(|p| p.fastscan.is_some())
+    }
+
+    /// Raw parts of partition `p` (used by persistence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= num_partitions()`.
+    pub(crate) fn partition_raw(&self, p: usize) -> (&[u64], &RowMajorCodes) {
+        (&self.partitions[p].ids, &self.partitions[p].codes)
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Vectors per partition (the paper's Table 3).
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(|p| p.ids.len()).collect()
+    }
+
+    /// Total indexed vectors.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.ids.len()).sum()
+    }
+
+    /// True when no vectors are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The trained product quantizer.
+    pub fn pq(&self) -> &ProductQuantizer {
+        &self.pq
+    }
+
+    /// The trained coarse quantizer.
+    pub fn coarse(&self) -> &CoarseQuantizer {
+        &self.coarse
+    }
+
+    /// The partition a query would be routed to.
+    pub fn select_partition(&self, query: &[f32]) -> usize {
+        self.coarse.assign(query)
+    }
+
+    /// Code storage bytes for the given backend (the paper's Figure 20
+    /// memory-use comparison: grouped Fast Scan storage is ~25 % smaller
+    /// than row-major codes).
+    pub fn code_memory_bytes(&self, backend: SearchBackend) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| match backend {
+                SearchBackend::FastScan => p
+                    .fastscan
+                    .as_ref()
+                    .map(|f| f.code_memory_bytes())
+                    .unwrap_or_else(|| p.codes.memory_bytes()),
+                _ => p.codes.memory_bytes(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const DIM: usize = 16;
+
+    fn clustered(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..12)
+            .map(|_| (0..DIM).map(|_| rng.gen_range(0.0f32..255.0)).collect())
+            .collect();
+        let mut data = Vec::with_capacity(n * DIM);
+        for _ in 0..n {
+            let c = &centers[rng.gen_range(0..centers.len())];
+            data.extend(c.iter().map(|&x| (x + rng.gen_range(-10.0f32..10.0)).clamp(0.0, 255.0)));
+        }
+        data
+    }
+
+    fn build_index(n: usize) -> (IvfadcIndex, Vec<f32>) {
+        let train = clustered(1200, 7);
+        let base = clustered(n, 8);
+        let index = IvfadcIndex::build(&train, &base, &IvfadcConfig::new(DIM, 4)).unwrap();
+        (index, base)
+    }
+
+    #[test]
+    fn partitions_cover_the_base_exactly() {
+        let (index, base) = build_index(800);
+        assert_eq!(index.len(), 800);
+        assert_eq!(index.num_partitions(), 4);
+        assert_eq!(index.partition_sizes().iter().sum::<usize>(), base.len() / DIM);
+    }
+
+    #[test]
+    fn backends_return_identical_results() {
+        let (index, base) = build_index(600);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let qi = rng.gen_range(0..600);
+            let query = &base[qi * DIM..(qi + 1) * DIM];
+            let a = index.search(query, 10, SearchBackend::Naive, 0.01).unwrap();
+            let b = index.search(query, 10, SearchBackend::Libpq, 0.01).unwrap();
+            let c = index.search(query, 10, SearchBackend::FastScan, 0.01).unwrap();
+            let ids = |o: &SearchOutcome| o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>();
+            assert_eq!(ids(&a), ids(&b));
+            assert_eq!(ids(&a), ids(&c));
+            assert_eq!(a.partition, c.partition);
+        }
+    }
+
+    #[test]
+    fn searching_a_base_vector_finds_itself() {
+        let (index, base) = build_index(500);
+        let mut hits = 0;
+        for qi in (0..500).step_by(25) {
+            let query = &base[qi * DIM..(qi + 1) * DIM];
+            let outcome = index.search(query, 5, SearchBackend::Naive, 0.0).unwrap();
+            if outcome.neighbors.iter().any(|n| n.id == qi as u64) {
+                hits += 1;
+            }
+        }
+        // PQ is lossy but a vector should almost always be in its own top-5.
+        assert!(hits >= 16, "only {hits}/20 self-hits");
+    }
+
+    #[test]
+    fn global_ids_match_partition_membership() {
+        let (index, base) = build_index(300);
+        let query = &base[..DIM];
+        let outcome = index.search(query, 20, SearchBackend::Naive, 0.0).unwrap();
+        for n in &outcome.neighbors {
+            let v = &base[n.id as usize * DIM..(n.id as usize + 1) * DIM];
+            assert_eq!(
+                index.select_partition(v),
+                outcome.partition,
+                "result id {} is not in the scanned partition",
+                n.id
+            );
+        }
+    }
+
+    #[test]
+    fn multiprobe_improves_or_preserves_recall() {
+        let (index, base) = build_index(800);
+        let mut improved_or_equal = true;
+        for qi in (0..800).step_by(40) {
+            let query = &base[qi * DIM..(qi + 1) * DIM];
+            let single = index.search(query, 10, SearchBackend::Naive, 0.0).unwrap();
+            let multi = index.search_probes(query, 10, SearchBackend::Naive, 0.0, 3).unwrap();
+            // Multi-probe sees a superset of candidates, so its k-th
+            // distance can only be <= the single-probe k-th distance.
+            let kth = |o: &SearchOutcome| o.neighbors.last().map(|n| n.dist);
+            if let (Some(s), Some(m)) = (kth(&single), kth(&multi)) {
+                if m > s {
+                    improved_or_equal = false;
+                }
+            }
+            // All single-probe results must appear in the multi-probe set.
+            let multi_ids: std::collections::HashSet<u64> =
+                multi.neighbors.iter().map(|n| n.id).collect();
+            for n in &single.neighbors {
+                assert!(multi_ids.contains(&n.id) || multi.neighbors.len() == 10);
+            }
+        }
+        assert!(improved_or_equal, "multi-probe must not worsen the k-th distance");
+    }
+
+    #[test]
+    fn multiprobe_with_all_cells_is_exhaustive() {
+        let (index, base) = build_index(400);
+        let query = &base[..DIM];
+        // Probing every partition = a full (residual-quantized) scan.
+        let all = index.search_probes(query, 5, SearchBackend::Naive, 0.0, 4).unwrap();
+        assert_eq!(all.neighbors.len(), 5);
+        assert_eq!(all.stats.scanned, 400);
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_search() {
+        let (index, base) = build_index(500);
+        let queries = &base[..DIM * 20];
+        let batch = index.search_batch(queries, 8, SearchBackend::FastScan, 0.01, 4).unwrap();
+        assert_eq!(batch.len(), 20);
+        for (i, q) in queries.chunks_exact(DIM).enumerate() {
+            let single = index.search(q, 8, SearchBackend::FastScan, 0.01).unwrap();
+            let ids = |o: &SearchOutcome| o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>();
+            assert_eq!(ids(&batch[i]), ids(&single), "query {i}");
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let (index, _) = build_index(100);
+        assert!(matches!(
+            index.search(&[0.0; 3], 5, SearchBackend::Naive, 0.0),
+            Err(IvfError::DimMismatch { .. })
+        ));
+        assert!(matches!(
+            index.search(&[0.0; DIM], 0, SearchBackend::Naive, 0.0),
+            Err(IvfError::Config(_))
+        ));
+        let train = clustered(100, 1);
+        assert!(matches!(
+            IvfadcIndex::build(&train, &train, &IvfadcConfig { partitions: 0, ..IvfadcConfig::new(DIM, 1) }),
+            Err(IvfError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn fastscan_backend_requires_build_support() {
+        let train = clustered(600, 2);
+        let base = clustered(200, 3);
+        let mut config = IvfadcConfig::new(DIM, 2);
+        config.fastscan = None;
+        let index = IvfadcIndex::build(&train, &base, &config).unwrap();
+        assert!(matches!(
+            index.search(&base[..DIM], 5, SearchBackend::FastScan, 0.01),
+            Err(IvfError::Config(_))
+        ));
+        // The other backends still work.
+        assert!(index.search(&base[..DIM], 5, SearchBackend::Naive, 0.0).is_ok());
+    }
+
+    #[test]
+    fn fastscan_code_memory_is_bounded_by_row_major_plus_padding() {
+        // The §4.2 25 % saving requires partitions large enough to group on
+        // 4 components (verified at scale by the fig20 harness and the
+        // layout unit tests: 6 bytes/vector). At test sizes the auto-tuner
+        // picks c = 0, where packed storage equals row-major plus at most
+        // one padded block per group.
+        let (index, _) = build_index(2000);
+        let row = index.code_memory_bytes(SearchBackend::Naive);
+        let packed = index.code_memory_bytes(SearchBackend::FastScan);
+        // Loose bound: per group at most one padded 16-vector block of at
+        // most 8 bytes/vector; uneven clustered partitions may reach c = 1
+        // (16 groups each).
+        let max_padding: usize = 4 * 16 * 16 * 8;
+        assert!(packed <= row + max_padding, "packed {packed} >> row-major {row}");
+    }
+}

@@ -1,0 +1,39 @@
+//! IVFADC — the indexed ANN search system PQ Fast Scan plugs into
+//! (paper §2.2, following Jégou et al. [14]).
+//!
+//! Answering a query takes three steps (Algorithm 1):
+//!
+//! 1. **partition selection** — the coarse quantizer's Voronoi cell the
+//!    query falls into ([`CoarseQuantizer`]);
+//! 2. **distance tables** — per-query tables over the *residual*
+//!    `y − c(y)`;
+//! 3. **scan** — PQ Scan or PQ Fast Scan over the partition's codes
+//!    (>99 % of query CPU time for multi-million-vector partitions, which
+//!    is why the paper attacks this step).
+//!
+//! ```
+//! use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
+//! use rand::{Rng, SeedableRng, rngs::StdRng};
+//!
+//! let dim = 16;
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let mut gen = |n: usize| -> Vec<f32> {
+//!     (0..n * dim).map(|_| rng.gen_range(0.0f32..255.0)).collect()
+//! };
+//! let train = gen(1000);
+//! let base = gen(500);
+//! let index = IvfadcIndex::build(&train, &base, &IvfadcConfig::new(dim, 4)).unwrap();
+//!
+//! let query = &base[..dim];
+//! let found = index.search(query, 5, SearchBackend::FastScan, 0.01).unwrap();
+//! assert!(!found.neighbors.is_empty());
+//! ```
+
+pub mod coarse;
+mod error;
+pub mod index;
+pub mod persist;
+
+pub use coarse::CoarseQuantizer;
+pub use error::IvfError;
+pub use index::{IvfadcConfig, IvfadcIndex, SearchBackend, SearchOutcome};

@@ -1,0 +1,225 @@
+//! Binary persistence for a built IVFADC index.
+//!
+//! Building an index over a large base set costs minutes of training and
+//! encoding; serving processes load the finished artifact instead. The
+//! format is little-endian and versioned:
+//!
+//! ```text
+//! magic  "PQIV"          4 bytes
+//! version u32            currently 1
+//! dim     u64
+//! partitions u64
+//! coarse centroids       partitions × dim × f32
+//! embedded quantizer     pqfs-core persist format (length-prefixed, u64)
+//! fastscan flag          u8 (1 = rebuild per-partition Fast Scan indexes)
+//! per partition:
+//!   len   u64
+//!   ids   len × u64
+//!   codes len × m bytes
+//! ```
+//!
+//! Fast Scan indexes are *rebuilt* on load (grouping is deterministic and
+//! costs a small fraction of what decoding the codes from disk does).
+
+use crate::coarse::CoarseQuantizer;
+use crate::index::IvfadcIndex;
+use pqfs_core::persist::{load_pq, save_pq, PersistError};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PQIV";
+const VERSION: u32 = 1;
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+impl IvfadcIndex {
+    /// Writes the index to `w`.
+    pub fn save(&self, w: &mut impl Write) -> Result<(), PersistError> {
+        let dim = self.coarse().dim();
+        let parts = self.num_partitions();
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(dim as u64).to_le_bytes())?;
+        w.write_all(&(parts as u64).to_le_bytes())?;
+        for p in 0..parts {
+            for &v in self.coarse().centroid(p) {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        // Length-prefixed embedded quantizer.
+        let mut pq_bytes = Vec::new();
+        save_pq(self.pq(), &mut pq_bytes)?;
+        w.write_all(&(pq_bytes.len() as u64).to_le_bytes())?;
+        w.write_all(&pq_bytes)?;
+        w.write_all(&[u8::from(self.has_fastscan())])?;
+        for p in 0..parts {
+            let (ids, codes) = self.partition_raw(p);
+            w.write_all(&(ids.len() as u64).to_le_bytes())?;
+            for &id in ids {
+                w.write_all(&id.to_le_bytes())?;
+            }
+            w.write_all(codes.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Reads an index previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] on IO failures, bad magic/version, truncation or an
+    /// invalid embedded quantizer.
+    pub fn load(r: &mut impl Read) -> Result<Self, PersistError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::Format(format!("bad magic {magic:?}")));
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(PersistError::Format(format!("unsupported version {version}")));
+        }
+        let dim = read_u64(r)? as usize;
+        let parts = read_u64(r)? as usize;
+        if dim == 0 || parts == 0 {
+            return Err(PersistError::Format("empty dimension or partition count".into()));
+        }
+        let mut centroids = vec![0u8; parts * dim * 4];
+        r.read_exact(&mut centroids)
+            .map_err(|_| PersistError::Format("truncated coarse centroids".into()))?;
+        let centroids: Vec<f32> = centroids
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+            .collect();
+
+        let pq_len = read_u64(r)? as usize;
+        let mut pq_bytes = vec![0u8; pq_len];
+        r.read_exact(&mut pq_bytes)
+            .map_err(|_| PersistError::Format("truncated quantizer".into()))?;
+        let pq = load_pq(&mut pq_bytes.as_slice())?;
+        if pq.config().dim() != dim {
+            return Err(PersistError::Format(format!(
+                "quantizer dim {} != index dim {dim}",
+                pq.config().dim()
+            )));
+        }
+
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let fastscan = flag[0] != 0;
+
+        let m = pq.config().m();
+        let mut partitions = Vec::with_capacity(parts);
+        for _ in 0..parts {
+            let len = read_u64(r)? as usize;
+            let mut ids = Vec::with_capacity(len);
+            let mut idbuf = vec![0u8; len * 8];
+            r.read_exact(&mut idbuf)
+                .map_err(|_| PersistError::Format("truncated partition ids".into()))?;
+            ids.extend(
+                idbuf
+                    .chunks_exact(8)
+                    .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
+            );
+            let mut codes = vec![0u8; len * m];
+            r.read_exact(&mut codes)
+                .map_err(|_| PersistError::Format("truncated partition codes".into()))?;
+            partitions.push((ids, codes));
+        }
+
+        IvfadcIndex::from_parts(CoarseQuantizer::from_centroids(centroids, dim), pq, partitions, fastscan)
+            .map_err(|e| PersistError::Format(e.to_string()))
+    }
+
+    /// Saves to a file.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Loads from a file.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let mut r = io::BufReader::new(std::fs::File::open(path)?);
+        Self::load(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IvfadcConfig, SearchBackend};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const DIM: usize = 16;
+
+    fn build() -> (IvfadcIndex, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(55);
+        let gen = |rng: &mut StdRng, n: usize| -> Vec<f32> {
+            (0..n * DIM).map(|_| rng.gen_range(0.0f32..255.0)).collect()
+        };
+        let train = gen(&mut rng, 1000);
+        let base = gen(&mut rng, 400);
+        let index = IvfadcIndex::build(&train, &base, &IvfadcConfig::new(DIM, 4)).unwrap();
+        (index, base)
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        let (index, base) = build();
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = IvfadcIndex::load(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.len(), index.len());
+        assert_eq!(loaded.partition_sizes(), index.partition_sizes());
+        for qi in (0..400).step_by(37) {
+            let q = &base[qi * DIM..(qi + 1) * DIM];
+            for backend in [SearchBackend::Naive, SearchBackend::FastScan] {
+                let a = index.search(q, 7, backend, 0.01).unwrap();
+                let b = loaded.search(q, 7, backend, 0.01).unwrap();
+                let ids = |o: &crate::index::SearchOutcome| {
+                    o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
+                };
+                assert_eq!(ids(&a), ids(&b), "query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (index, _) = build();
+        let mut path = std::env::temp_dir();
+        path.push(format!("pqfs-ivf-{}.pqiv", std::process::id()));
+        index.save_file(&path).unwrap();
+        let loaded = IvfadcIndex::load_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), index.len());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let (index, _) = build();
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'Z';
+        assert!(IvfadcIndex::load(&mut bad_magic.as_slice()).is_err());
+
+        let truncated = &buf[..buf.len() / 2];
+        assert!(IvfadcIndex::load(&mut &truncated[..]).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Squared-L2 distance kernels.
+//!
+//! The whole reproduction works with *squared* Euclidean distances, as the
+//! paper does (§2.2): squaring preserves the nearest-neighbor order and
+//! avoids a square root per candidate.
+
+/// Squared L2 distance between two equal-length slices.
+///
+/// The 4-way manually unrolled loop lets LLVM vectorize without `-ffast-math`
+/// (the accumulation order is fixed, so results are deterministic across
+/// builds).
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths; in release
+/// builds the shorter length is used.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        acc0 += d0 * d0;
+        acc1 += d1 * d1;
+        acc2 += d2 * d2;
+        acc3 += d3 * d3;
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..n {
+        let d = a[j] - b[j];
+        tail += d * d;
+    }
+    (acc0 + acc1) + (acc2 + acc3) + tail
+}
+
+/// Index and squared distance of the centroid nearest to `v`.
+///
+/// `centroids` is a row-major `k × dim` matrix. Ties are broken toward the
+/// lower index, which keeps every consumer in the workspace deterministic.
+///
+/// # Panics
+///
+/// Panics if `centroids.len()` is not a multiple of `dim`, or if it is empty.
+#[inline]
+pub fn nearest_centroid(v: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
+    assert!(dim > 0, "dim must be positive");
+    assert!(
+        !centroids.is_empty() && centroids.len() % dim == 0,
+        "centroid matrix must be a non-empty multiple of dim"
+    );
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.chunks_exact(dim).enumerate() {
+        let d = l2_sq(v, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// Squared distances from `v` to every row of `centroids` written into `out`.
+///
+/// This is the inner loop of distance-table computation (paper Eq. 2); it is
+/// kept allocation-free so callers can reuse a scratch buffer per query.
+///
+/// # Panics
+///
+/// Panics if `out.len() * dim != centroids.len()`.
+#[inline]
+pub fn distances_to_all(v: &[f32], centroids: &[f32], dim: usize, out: &mut [f32]) {
+    assert_eq!(
+        out.len() * dim,
+        centroids.len(),
+        "output length must match the number of centroids"
+    );
+    for (o, c) in out.iter_mut().zip(centroids.chunks_exact(dim)) {
+        *o = l2_sq(v, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_sq_matches_naive_definition() {
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0f32, 4.0, 3.0, 2.0, 1.0];
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert_eq!(l2_sq(&a, &b), expect);
+    }
+
+    #[test]
+    fn l2_sq_zero_for_identical_vectors() {
+        let a = [0.5f32; 17];
+        assert_eq!(l2_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn l2_sq_handles_empty_slices() {
+        assert_eq!(l2_sq(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn l2_sq_handles_non_multiple_of_four_lengths() {
+        for n in 1..=9usize {
+            let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32) + 1.0).collect();
+            assert_eq!(l2_sq(&a, &b), n as f32, "length {n}");
+        }
+    }
+
+    #[test]
+    fn nearest_centroid_picks_minimum_and_breaks_ties_low() {
+        let centroids = [0.0f32, 0.0, 2.0, 0.0, 2.0, 0.0]; // rows 1 and 2 identical
+        let (idx, d) = nearest_centroid(&[2.0, 0.1], &centroids, 2);
+        assert_eq!(idx, 1, "tie must go to the lower index");
+        assert!((d - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distances_to_all_fills_every_slot() {
+        let centroids = [0.0f32, 0.0, 1.0, 0.0, 0.0, 1.0];
+        let mut out = [0.0f32; 3];
+        distances_to_all(&[0.0, 0.0], &centroids, 2, &mut out);
+        assert_eq!(out, [0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn distances_to_all_rejects_bad_output_len() {
+        let centroids = [0.0f32; 6];
+        let mut out = [0.0f32; 2];
+        distances_to_all(&[0.0, 0.0], &centroids, 2, &mut out);
+    }
+}

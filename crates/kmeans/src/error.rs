@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors reported by the clustering routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KMeansError {
+    /// The input slice was empty.
+    EmptyInput,
+    /// `dim` was zero or the data length is not a multiple of `dim`.
+    BadShape {
+        /// Length of the flattened data slice.
+        len: usize,
+        /// Claimed dimensionality.
+        dim: usize,
+    },
+    /// Fewer points than requested clusters.
+    KExceedsPoints {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of points available.
+        n: usize,
+    },
+    /// `k` was zero.
+    ZeroK,
+    /// Same-size k-means requires the number of points to be divisible by
+    /// `k` so every cluster can hold exactly `n / k` points.
+    NotDivisible {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of points available.
+        n: usize,
+    },
+    /// The input contained a non-finite (NaN or infinite) coordinate.
+    NonFiniteInput,
+}
+
+impl fmt::Display for KMeansError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KMeansError::EmptyInput => write!(f, "input data is empty"),
+            KMeansError::BadShape { len, dim } => {
+                write!(f, "data length {len} is not a positive multiple of dim {dim}")
+            }
+            KMeansError::KExceedsPoints { k, n } => {
+                write!(f, "cannot build {k} clusters from {n} points")
+            }
+            KMeansError::ZeroK => write!(f, "k must be positive"),
+            KMeansError::NotDivisible { k, n } => {
+                write!(f, "same-size k-means needs n divisible by k (n={n}, k={k})")
+            }
+            KMeansError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for KMeansError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msg = KMeansError::KExceedsPoints { k: 10, n: 3 }.to_string();
+        assert!(msg.contains("10") && msg.contains("3"));
+        let msg = KMeansError::NotDivisible { k: 16, n: 100 }.to_string();
+        assert!(msg.contains("16") && msg.contains("100"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the clustering substrate.
+
+use proptest::prelude::*;
+use pqfs_kmeans::{train, train_same_size, KMeansConfig, SameSizeConfig};
+
+fn flat_points(points: &[Vec<f32>]) -> Vec<f32> {
+    points.iter().flatten().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every trained model assigns points to their true nearest centroid
+    /// and its inertia equals the sum of assignment distances.
+    #[test]
+    fn assignment_is_nearest_and_inertia_consistent(
+        points in prop::collection::vec(prop::collection::vec(0.0f32..100.0, 3), 8..60),
+        k in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(points.len() >= k);
+        let data = flat_points(&points);
+        let model = train(&data, 3, &KMeansConfig::new(k).with_seed(seed)).unwrap();
+        prop_assert_eq!(model.k(), k);
+
+        let mut manual_inertia = 0f64;
+        for p in points.iter() {
+            let (assigned, d) = model.assign(p);
+            manual_inertia += d as f64;
+            // Exhaustively verify the argmin.
+            for c in 0..k {
+                let dc: f32 = p
+                    .iter()
+                    .zip(model.centroid(c))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                prop_assert!(d <= dc + 1e-3, "assigned {assigned} but {c} is closer");
+            }
+        }
+        // Inertia reported == inertia recomputed (within float slack).
+        prop_assert!((model.inertia() - manual_inertia).abs() <= 1e-2 * manual_inertia.max(1.0));
+    }
+
+    /// k-means never leaves a centroid "empty": every centroid is the
+    /// nearest centroid of at least zero points but remains finite.
+    #[test]
+    fn centroids_are_always_finite(
+        points in prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 2), 5..40),
+        k in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(points.len() >= k);
+        let data = flat_points(&points);
+        let model = train(&data, 2, &KMeansConfig::new(k).with_seed(seed)).unwrap();
+        prop_assert!(model.centroids().iter().all(|v| v.is_finite()));
+    }
+
+    /// Same-size k-means always produces exactly equal cluster sizes and a
+    /// permutation-complete assignment.
+    #[test]
+    fn same_size_balance_invariant(
+        seed in 0u64..500,
+        k in prop::sample::select(vec![1usize, 2, 4, 8]),
+        per in 2usize..8,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = k * per;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n * 3).map(|_| rng.gen_range(0.0f32..20.0)).collect();
+        let result = train_same_size(&data, 3, &SameSizeConfig::new(k).with_seed(seed)).unwrap();
+        let mut counts = vec![0usize; k];
+        for &a in result.assignment() {
+            counts[a as usize] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == per), "unbalanced: {counts:?}");
+        // groups() must be a partition of 0..n.
+        let mut all: Vec<usize> = result.groups().into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// More Lloyd iterations never increase inertia.
+    #[test]
+    fn inertia_is_monotone_in_iterations(
+        seed in 0u64..200,
+        n in 12usize..50,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n * 2).map(|_| rng.gen_range(0.0f32..10.0)).collect();
+        let short = train(&data, 2, &KMeansConfig::new(4).with_seed(seed).with_max_iters(1)).unwrap();
+        let long = train(&data, 2, &KMeansConfig::new(4).with_seed(seed).with_max_iters(20)).unwrap();
+        prop_assert!(long.inertia() <= short.inertia() + 1e-6);
+    }
+}

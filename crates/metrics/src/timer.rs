@@ -1,0 +1,64 @@
+//! Wall-clock measurement helpers for the harness binaries.
+
+use std::time::Instant;
+
+/// Runs `f` once, returning its result and the elapsed milliseconds.
+pub fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs `f` `reps` times (after one untimed warm-up call) and returns the
+/// per-repetition milliseconds, in execution order.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn measure_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> Vec<f64> {
+    assert!(reps > 0, "need at least one repetition");
+    std::hint::black_box(f());
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+/// Scan speed in million vectors per second — the unit of the paper's
+/// Figures 16–20 — from a per-scan time and partition size.
+pub fn mvecs_per_sec(n_vectors: usize, elapsed_ms: f64) -> f64 {
+    if elapsed_ms <= 0.0 {
+        return f64::INFINITY;
+    }
+    n_vectors as f64 / (elapsed_ms * 1e-3) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ms_returns_result_and_positive_time() {
+        let (r, ms) = time_ms(|| (0..1000).sum::<u64>());
+        assert_eq!(r, 499500);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn measure_ms_returns_requested_reps() {
+        let times = measure_ms(5, || std::hint::black_box(17u64 * 13));
+        assert_eq!(times.len(), 5);
+        assert!(times.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn mvecs_per_sec_math() {
+        // 25M vectors in 13.7 ms ≈ 1825 M vecs/s (the paper's headline).
+        let speed = mvecs_per_sec(25_000_000, 13.7);
+        assert!((speed - 1824.8).abs() < 1.0, "{speed}");
+        assert!(mvecs_per_sec(100, 0.0).is_infinite());
+    }
+}

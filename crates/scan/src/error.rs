@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Errors reported by the scan implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// A scan kernel requires the paper's `PQ 8×8` shape.
+    NeedsPq8x8 {
+        /// Components per code found.
+        m: usize,
+        /// Centroids per sub-quantizer found.
+        ksub: usize,
+    },
+    /// `group_components` outside the supported `0..=4` range.
+    BadGroupComponents {
+        /// Requested number of grouping components.
+        c: usize,
+    },
+    /// Distance tables and code layout disagree on `m`.
+    TableCodeMismatch {
+        /// `m` of the distance tables.
+        table_m: usize,
+        /// `m` of the code layout.
+        code_m: usize,
+    },
+    /// The requested SIMD kernel is not supported by the running CPU.
+    KernelUnavailable {
+        /// Human-readable kernel name.
+        kernel: &'static str,
+    },
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::NeedsPq8x8 { m, ksub } => write!(
+                f,
+                "this scan requires PQ 8x8 codes (m=8, ksub=256), got m={m}, ksub={ksub}"
+            ),
+            ScanError::BadGroupComponents { c } => {
+                write!(f, "group_components must be in 0..=4, got {c}")
+            }
+            ScanError::TableCodeMismatch { table_m, code_m } => {
+                write!(f, "distance tables have m={table_m} but codes have m={code_m}")
+            }
+            ScanError::KernelUnavailable { kernel } => {
+                write!(f, "SIMD kernel '{kernel}' is not supported by this CPU")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_problem() {
+        assert!(ScanError::NeedsPq8x8 { m: 4, ksub: 16 }.to_string().contains("m=4"));
+        assert!(ScanError::BadGroupComponents { c: 9 }.to_string().contains('9'));
+        assert!(ScanError::KernelUnavailable { kernel: "ssse3" }.to_string().contains("ssse3"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Vector grouping (paper §4.2).
+//!
+//! Vectors are grouped on the **high nibbles of their first `c`
+//! components**: all vectors of group `(i0, …, i_{c−1})` hit the same
+//! 16-entry *portion* of the distance tables `D_0 … D_{c−1}`, so those
+//! portions can be loaded into SIMD registers once per group and reused for
+//! every vector in it.
+//!
+//! The paper's sizing rule: a group should average at least ~50 vectors or
+//! table reloads dominate, giving the minimum partition size
+//! `n_min(c) = 50 · 16^c` for grouping on `c` components (§4.2); partitions
+//! of 3.2–25 M vectors group on `c = 4`.
+//!
+//! Storage is **one contiguous buffer** for the whole partition (groups
+//! back to back, each zero-padded to a whole block) — the scan walks memory
+//! linearly, exactly like the paper's grouped database layout.
+
+use crate::fastscan::layout::{BlockLayout, FS_BLOCK, FS_M};
+use pqfs_core::RowMajorCodes;
+use std::collections::BTreeMap;
+
+/// A group identifier: the high nibbles of the first `c` components
+/// (entries `c..4` are zero).
+pub type GroupKey = [u8; 4];
+
+/// Extracts the group key of a code for grouping on `c` components.
+///
+/// # Panics
+///
+/// Panics in debug builds if `code.len() < c` or `c > 4`.
+#[inline]
+pub fn group_key(code: &[u8], c: usize) -> GroupKey {
+    debug_assert!(c <= 4);
+    let mut key = [0u8; 4];
+    for (j, slot) in key.iter_mut().enumerate().take(c) {
+        *slot = code[j] >> 4;
+    }
+    key
+}
+
+/// The paper's minimum average group size for grouping to pay off.
+pub const MIN_GROUP_SIZE: usize = 50;
+
+/// Minimum partition size for grouping on `c` components:
+/// `n_min(c) = 50 · 16^c`.
+pub fn min_partition_size(c: usize) -> usize {
+    MIN_GROUP_SIZE * (1usize << (4 * c))
+}
+
+/// Picks the largest `c ∈ 0..=4` whose minimum partition size `n` satisfies
+/// (the paper's auto-sizing rule; §5.6 notes partitions under 3 M vectors
+/// should drop to `c = 3`).
+pub fn auto_components(n: usize) -> usize {
+    let mut c = 0;
+    while c < 4 && n >= min_partition_size(c + 1) {
+        c += 1;
+    }
+    c
+}
+
+/// Metadata of one group inside [`GroupedCodes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupMeta {
+    /// High nibbles of the grouped components.
+    pub key: GroupKey,
+    /// Index of the group's first vector in storage order (into `ids`).
+    pub start: usize,
+    /// Number of member vectors.
+    pub len: usize,
+    /// Byte offset of the group's first block in the shared buffer.
+    pub block_offset: usize,
+}
+
+impl GroupMeta {
+    /// Number of 16-vector blocks (including the padded tail).
+    pub fn num_blocks(&self) -> usize {
+        self.len.div_ceil(FS_BLOCK)
+    }
+}
+
+/// A partition's codes, grouped and packed into the Fast Scan layout.
+#[derive(Debug, Clone)]
+pub struct GroupedCodes {
+    layout: BlockLayout,
+    /// All groups' blocks, concatenated (each group zero-padded to whole
+    /// blocks).
+    blocks: Vec<u8>,
+    /// Original partition positions, in storage order.
+    ids: Vec<u32>,
+    groups: Vec<GroupMeta>,
+    n: usize,
+}
+
+impl GroupedCodes {
+    /// Groups a partition's codes on `c` components. Groups are ordered by
+    /// ascending key and vectors keep their relative order within a group
+    /// (the deterministic warm-up relies on both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.m() != 8` or `c > 4`.
+    pub fn build(codes: &RowMajorCodes, c: usize) -> Self {
+        assert_eq!(codes.m(), FS_M, "fast scan requires PQ 8x8 codes");
+        assert!(c <= 4);
+        let layout = BlockLayout::new(c);
+        let bpb = layout.bytes_per_block();
+
+        // Stable bucket assignment: BTreeMap gives ascending key order.
+        let mut buckets: BTreeMap<GroupKey, Vec<u32>> = BTreeMap::new();
+        for (i, code) in codes.iter().enumerate() {
+            buckets.entry(group_key(code, c)).or_default().push(i as u32);
+        }
+
+        let n = codes.len();
+        let total_blocks: usize =
+            buckets.values().map(|ids| ids.len().div_ceil(FS_BLOCK)).sum();
+        let mut blocks = vec![0u8; total_blocks * bpb];
+        let mut ids = Vec::with_capacity(n);
+        let mut groups = Vec::with_capacity(buckets.len());
+
+        let mut block_offset = 0usize;
+        for (key, members) in buckets {
+            let start = ids.len();
+            let len = members.len();
+            let group_bytes = len.div_ceil(FS_BLOCK) * bpb;
+            let region = &mut blocks[block_offset..block_offset + group_bytes];
+            for (pos, &id) in members.iter().enumerate() {
+                let block = &mut region[(pos / FS_BLOCK) * bpb..(pos / FS_BLOCK + 1) * bpb];
+                layout.write_code(block, pos % FS_BLOCK, codes.code(id as usize));
+            }
+            ids.extend_from_slice(&members);
+            groups.push(GroupMeta { key, start, len, block_offset });
+            block_offset += group_bytes;
+        }
+
+        GroupedCodes { layout, blocks, ids, groups, n }
+    }
+
+    /// The block layout in use.
+    pub fn layout(&self) -> &BlockLayout {
+        &self.layout
+    }
+
+    /// Total number of vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Group metadata, in ascending key order.
+    pub fn groups(&self) -> &[GroupMeta] {
+        &self.groups
+    }
+
+    /// Original partition position of the vector at storage position `pos`.
+    #[inline]
+    pub fn id(&self, pos: usize) -> u32 {
+        self.ids[pos]
+    }
+
+    /// The packed blocks of group `g`.
+    #[inline]
+    pub fn group_blocks(&self, g: &GroupMeta) -> &[u8] {
+        let bytes = g.num_blocks() * self.layout.bytes_per_block();
+        &self.blocks[g.block_offset..g.block_offset + bytes]
+    }
+
+    /// Reconstructs the full code of the vector at storage position
+    /// `g.start + idx`.
+    #[inline]
+    pub fn read_code(&self, g: &GroupMeta, idx: usize) -> [u8; FS_M] {
+        debug_assert!(idx < g.len);
+        let bpb = self.layout.bytes_per_block();
+        let block_start = g.block_offset + (idx / FS_BLOCK) * bpb;
+        let block = &self.blocks[block_start..block_start + bpb];
+        self.layout.read_code(block, idx % FS_BLOCK, &g.key)
+    }
+
+    /// Bytes of packed code storage (padding included) — the §4.2 memory
+    /// claim compares this against `8 × n` row-major bytes.
+    pub fn code_memory_bytes(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bytes of the id permutation (bookkeeping row-major storage doesn't
+    /// need).
+    pub fn ids_memory_bytes(&self) -> usize {
+        self.ids.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_codes(n: usize) -> RowMajorCodes {
+        let bytes: Vec<u8> = (0..n * FS_M).map(|i| ((i * 37 + 11) % 256) as u8).collect();
+        RowMajorCodes::new(bytes, FS_M)
+    }
+
+    #[test]
+    fn min_partition_sizes_match_the_paper() {
+        assert_eq!(min_partition_size(0), 50);
+        assert_eq!(min_partition_size(1), 800);
+        assert_eq!(min_partition_size(2), 12_800);
+        assert_eq!(min_partition_size(3), 204_800);
+        assert_eq!(min_partition_size(4), 3_276_800); // the paper's ~3.2 M
+    }
+
+    #[test]
+    fn auto_components_uses_paper_thresholds() {
+        assert_eq!(auto_components(0), 0);
+        assert_eq!(auto_components(799), 0);
+        assert_eq!(auto_components(800), 1);
+        assert_eq!(auto_components(204_800), 3);
+        assert_eq!(auto_components(3_276_799), 3);
+        assert_eq!(auto_components(3_276_800), 4);
+        assert_eq!(auto_components(25_000_000), 4);
+    }
+
+    #[test]
+    fn groups_partition_all_vectors_exactly_once() {
+        for c in 0..=4usize {
+            let codes = sample_codes(500);
+            let grouped = GroupedCodes::build(&codes, c);
+            assert_eq!(grouped.len(), 500, "c={c}");
+            let mut seen: Vec<u32> = (0..500).map(|pos| grouped.id(pos)).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..500u32).collect::<Vec<_>>(), "c={c}");
+            // Group metadata tiles the storage exactly.
+            let total: usize = grouped.groups().iter().map(|g| g.len).sum();
+            assert_eq!(total, 500);
+            for pair in grouped.groups().windows(2) {
+                assert_eq!(pair[0].start + pair[0].len, pair[1].start, "c={c}");
+                assert!(pair[0].key < pair[1].key, "c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_members_share_their_key_nibbles() {
+        let codes = sample_codes(300);
+        let grouped = GroupedCodes::build(&codes, 4);
+        for g in grouped.groups() {
+            for idx in 0..g.len {
+                let id = grouped.id(g.start + idx);
+                assert_eq!(group_key(codes.code(id as usize), 4), g.key);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_blocks_roundtrip_codes() {
+        for c in [0usize, 1, 2, 3, 4] {
+            let codes = sample_codes(123);
+            let grouped = GroupedCodes::build(&codes, c);
+            for g in grouped.groups() {
+                for idx in 0..g.len {
+                    let id = grouped.id(g.start + idx);
+                    assert_eq!(
+                        grouped.read_code(g, idx),
+                        *codes.code(id as usize).first_chunk::<FS_M>().unwrap(),
+                        "c={c} id={id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c_zero_produces_a_single_group() {
+        let codes = sample_codes(64);
+        let grouped = GroupedCodes::build(&codes, 0);
+        assert_eq!(grouped.groups().len(), 1);
+        assert_eq!(grouped.groups()[0].len, 64);
+        assert_eq!(grouped.groups()[0].key, [0; 4]);
+    }
+
+    #[test]
+    fn empty_partition_yields_no_groups() {
+        let codes = RowMajorCodes::new(vec![], FS_M);
+        let grouped = GroupedCodes::build(&codes, 4);
+        assert!(grouped.is_empty());
+        assert!(grouped.groups().is_empty());
+        assert_eq!(grouped.code_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_matches_layout() {
+        let codes = sample_codes(320); // multiples of 16 avoid padding at c=0
+        let grouped = GroupedCodes::build(&codes, 0);
+        assert_eq!(grouped.code_memory_bytes(), 320 * 8);
+        assert_eq!(grouped.ids_memory_bytes(), 320 * 4);
+        // c = 4: 6 bytes per vector plus padding.
+        let grouped = GroupedCodes::build(&codes, 4);
+        assert!(grouped.code_memory_bytes() >= 320 * 6);
+    }
+}

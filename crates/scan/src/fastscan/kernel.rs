@@ -1,0 +1,723 @@
+//! The in-register lookup kernels (paper §4.5).
+//!
+//! The small tables `S_0 … S_7` (16 bytes each) live in SIMD registers for
+//! the duration of the scan. Per block of 16 vectors the kernel:
+//!
+//! 1. loads each 16-byte component array (6 loads per block for `c = 4` —
+//!    the paper's "6 bytes per vector");
+//! 2. extracts 4-bit indexes — low nibbles for grouped components, high
+//!    nibbles (`psrlw 4` + mask) for the minimum-table components;
+//! 3. looks up 16 values at once with `pshufb` (`_mm_shuffle_epi8`);
+//! 4. accumulates with saturating unsigned adds (`_mm_adds_epu8`);
+//! 5. compares the 16 lower bounds against the quantized threshold with the
+//!    unsigned `min_epu8`/`cmpeq` idiom and extracts a candidate bitmask
+//!    via `pmovmskb`.
+//!
+//! The scan loop over groups lives *inside* the kernel and is
+//! **monomorphized on the number of grouping components** (`const C`): the
+//! component loops fully unroll, the minimum-table registers stay resident
+//! for the entire partition, and only the `C` portion registers reload at
+//! group boundaries (solid arrows of the paper's Figure 13). A bit-exact
+//! portable implementation is always available and doubles as the test
+//! oracle.
+
+use crate::fastscan::grouping::GroupedCodes;
+use crate::fastscan::layout::{FS_BLOCK, FS_M, PORTION};
+use crate::ScanError;
+
+/// Kernel back-end selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Pick the fastest back-end supported by the running CPU
+    /// (AVX2 → SSSE3 → portable).
+    #[default]
+    Auto,
+    /// The scalar emulation (available everywhere; test oracle).
+    Portable,
+    /// The SSSE3 `pshufb` kernel the paper describes.
+    Ssse3,
+    /// Extension: 256-bit kernel processing two blocks (32 codes) per
+    /// iteration with the small tables broadcast to both 128-bit lanes —
+    /// the step the paper's §6 anticipates for wider SIMD. Returns the
+    /// exact same neighbors; pruning *statistics* may differ marginally
+    /// because a block pair shares one threshold snapshot.
+    Avx2,
+}
+
+/// A concrete back-end after CPU-feature resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ResolvedKernel {
+    Portable,
+    #[cfg(target_arch = "x86_64")]
+    Ssse3,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl Kernel {
+    /// Resolves against the running CPU.
+    ///
+    /// # Errors
+    ///
+    /// [`ScanError::KernelUnavailable`] when an explicitly requested SIMD
+    /// back-end is unsupported.
+    pub(crate) fn resolve(self) -> Result<ResolvedKernel, ScanError> {
+        match self {
+            Kernel::Auto => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        return Ok(ResolvedKernel::Avx2);
+                    }
+                    if std::arch::is_x86_feature_detected!("ssse3") {
+                        return Ok(ResolvedKernel::Ssse3);
+                    }
+                }
+                Ok(ResolvedKernel::Portable)
+            }
+            Kernel::Portable => Ok(ResolvedKernel::Portable),
+            Kernel::Ssse3 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if std::arch::is_x86_feature_detected!("ssse3") {
+                        return Ok(ResolvedKernel::Ssse3);
+                    }
+                }
+                Err(ScanError::KernelUnavailable { kernel: "ssse3" })
+            }
+            Kernel::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        return Ok(ResolvedKernel::Avx2);
+                    }
+                }
+                Err(ScanError::KernelUnavailable { kernel: "avx2" })
+            }
+        }
+    }
+}
+
+/// The per-query quantized tables a scan consumes.
+#[derive(Debug, Clone)]
+pub(crate) struct ScanTables {
+    /// For each grouped component `j < c`: the full 256-entry quantized
+    /// table (16-entry portions selected per group).
+    pub grouped: Vec<Vec<u8>>,
+    /// For each component: the 16-entry small table. Entries `c..8` hold
+    /// the quantized minimum tables; entries `0..c` are scratch the kernels
+    /// refresh per group.
+    pub small: [[u8; PORTION]; FS_M],
+}
+
+/// Visitor invoked for every candidate: `(group_index, index_in_group)`;
+/// returns the possibly updated quantized threshold.
+pub(crate) trait Visit: FnMut(usize, usize) -> u8 {}
+impl<F: FnMut(usize, usize) -> u8> Visit for F {}
+
+/// Candidate bitmask of one block, portable reference: bit `lane` is set
+/// when the saturated lower bound of that lane is `<= threshold` (the
+/// vector survives pruning).
+pub(crate) fn block_mask_portable(
+    c: usize,
+    block: &[u8],
+    small: &[[u8; PORTION]; FS_M],
+    threshold: u8,
+) -> u16 {
+    let pairs = c / 2;
+    let odd = c % 2 == 1;
+    let mut mask = 0u16;
+    for lane in 0..FS_BLOCK {
+        let mut acc = 0u8;
+        let mut array = 0usize;
+        for p in 0..pairs {
+            let byte = block[array * FS_BLOCK + lane];
+            array += 1;
+            acc = acc.saturating_add(small[2 * p][(byte & 0x0F) as usize]);
+            acc = acc.saturating_add(small[2 * p + 1][(byte >> 4) as usize]);
+        }
+        if odd {
+            let byte = block[array * FS_BLOCK + lane];
+            array += 1;
+            acc = acc.saturating_add(small[c - 1][(byte & 0x0F) as usize]);
+        }
+        for j in c..FS_M {
+            let byte = block[array * FS_BLOCK + lane];
+            array += 1;
+            acc = acc.saturating_add(small[j][(byte >> 4) as usize]);
+        }
+        if acc <= threshold {
+            mask |= 1 << lane;
+        }
+    }
+    mask
+}
+
+/// Scans the whole grouped partition with the portable kernel; returns the
+/// number of candidates surfaced to `visit`.
+pub(crate) fn scan_all_portable<F: Visit>(
+    grouped: &GroupedCodes,
+    tables: &mut ScanTables,
+    mut threshold: u8,
+    visit: &mut F,
+) -> u64 {
+    let c = grouped.layout().c();
+    let bpb = grouped.layout().bytes_per_block();
+    let mut candidates = 0u64;
+    for (gi, g) in grouped.groups().iter().enumerate() {
+        for j in 0..c {
+            let portion = g.key[j] as usize * PORTION;
+            tables.small[j].copy_from_slice(&tables.grouped[j][portion..portion + PORTION]);
+        }
+        let blocks = grouped.group_blocks(g);
+        for b in 0..g.num_blocks() {
+            let valid = (g.len - b * FS_BLOCK).min(FS_BLOCK);
+            let valid_mask = if valid == FS_BLOCK { u16::MAX } else { (1u16 << valid) - 1 };
+            let block = &blocks[b * bpb..(b + 1) * bpb];
+            let mut mask = block_mask_portable(c, block, &tables.small, threshold) & valid_mask;
+            candidates += mask.count_ones() as u64;
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                threshold = visit(gi, b * FS_BLOCK + lane);
+            }
+        }
+    }
+    candidates
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    //! The SSSE3 implementation (the paper's actual kernel), monomorphized
+    //! on the grouping-component count `C`.
+
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Bytes per block for grouping on `c` components (const-folded).
+    const fn bytes_per_block(c: usize) -> usize {
+        (c / 2 + c % 2 + (FS_M - c)) * FS_BLOCK
+    }
+
+    /// Candidate bitmask of one block — SSSE3, unrolled for constant `C`.
+    ///
+    /// # Safety
+    ///
+    /// CPU must support SSSE3 and `block` must point at
+    /// `bytes_per_block(C)` readable bytes.
+    #[target_feature(enable = "ssse3")]
+    #[inline]
+    unsafe fn block_mask_ssse3<const C: usize>(
+        block: *const u8,
+        regs: &[__m128i; FS_M],
+        threshold_vec: __m128i,
+    ) -> u16 {
+        let low = _mm_set1_epi8(0x0F);
+        let mut acc = _mm_setzero_si128();
+        let mut array = 0usize;
+
+        // Packed pairs of grouped components (low nibble = even component,
+        // high nibble = odd component).
+        for p in 0..C / 2 {
+            let bytes = _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i);
+            array += 1;
+            let lo = _mm_and_si128(bytes, low);
+            acc = _mm_adds_epu8(acc, _mm_shuffle_epi8(regs[2 * p], lo));
+            let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), low);
+            acc = _mm_adds_epu8(acc, _mm_shuffle_epi8(regs[2 * p + 1], hi));
+        }
+        // Unpaired grouped component (odd C).
+        if C % 2 == 1 {
+            let bytes = _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i);
+            array += 1;
+            let lo = _mm_and_si128(bytes, low);
+            acc = _mm_adds_epu8(acc, _mm_shuffle_epi8(regs[C - 1], lo));
+        }
+        // Ungrouped components: full bytes, high nibble indexes the minimum
+        // table.
+        for j in C..FS_M {
+            let bytes = _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i);
+            array += 1;
+            let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), low);
+            acc = _mm_adds_epu8(acc, _mm_shuffle_epi8(regs[j], hi));
+        }
+
+        // Unsigned `acc <= threshold` as min(acc, t) == acc.
+        let cand = _mm_cmpeq_epi8(_mm_min_epu8(acc, threshold_vec), acc);
+        _mm_movemask_epi8(cand) as u16
+    }
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn scan_all_ssse3_impl<const C: usize, F: Visit>(
+        grouped: &GroupedCodes,
+        tables: &ScanTables,
+        mut threshold: u8,
+        visit: &mut F,
+    ) -> u64 {
+        // Minimum tables: loaded once, resident for the entire scan.
+        let mut regs = [_mm_setzero_si128(); FS_M];
+        for j in C..FS_M {
+            regs[j] = _mm_loadu_si128(tables.small[j].as_ptr() as *const __m128i);
+        }
+        let mut tvec = _mm_set1_epi8(threshold as i8);
+        let bpb = bytes_per_block(C);
+        let mut candidates = 0u64;
+
+        for (gi, g) in grouped.groups().iter().enumerate() {
+            // Portion registers for this group (Figure 13, solid arrows).
+            for j in 0..C {
+                let portion = g.key[j] as usize * PORTION;
+                regs[j] = _mm_loadu_si128(
+                    tables.grouped[j].as_ptr().add(portion) as *const __m128i
+                );
+            }
+            let blocks = grouped.group_blocks(g);
+            let base = blocks.as_ptr();
+            let full_blocks = g.len / FS_BLOCK;
+
+            // Hot loop over full blocks.
+            for b in 0..full_blocks {
+                let mut mask = block_mask_ssse3::<C>(base.add(b * bpb), &regs, tvec);
+                if mask != 0 {
+                    candidates += mask.count_ones() as u64;
+                    loop {
+                        let lane = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let new_threshold = visit(gi, b * FS_BLOCK + lane);
+                        if new_threshold != threshold {
+                            threshold = new_threshold;
+                            tvec = _mm_set1_epi8(threshold as i8);
+                        }
+                        if mask == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Ragged tail block.
+            let tail = g.len % FS_BLOCK;
+            if tail != 0 {
+                let b = full_blocks;
+                let valid_mask = (1u16 << tail) - 1;
+                let mut mask =
+                    block_mask_ssse3::<C>(base.add(b * bpb), &regs, tvec) & valid_mask;
+                candidates += mask.count_ones() as u64;
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let new_threshold = visit(gi, b * FS_BLOCK + lane);
+                    if new_threshold != threshold {
+                        threshold = new_threshold;
+                        tvec = _mm_set1_epi8(threshold as i8);
+                    }
+                }
+            }
+        }
+        candidates
+    }
+
+    /// SSSE3 whole-partition scan; same contract as
+    /// [`scan_all_portable`](super::scan_all_portable).
+    ///
+    /// # Safety
+    ///
+    /// CPU must support SSSE3.
+    pub(crate) unsafe fn scan_all_ssse3<F: Visit>(
+        grouped: &GroupedCodes,
+        tables: &ScanTables,
+        threshold: u8,
+        visit: &mut F,
+    ) -> u64 {
+        match grouped.layout().c() {
+            0 => scan_all_ssse3_impl::<0, F>(grouped, tables, threshold, visit),
+            1 => scan_all_ssse3_impl::<1, F>(grouped, tables, threshold, visit),
+            2 => scan_all_ssse3_impl::<2, F>(grouped, tables, threshold, visit),
+            3 => scan_all_ssse3_impl::<3, F>(grouped, tables, threshold, visit),
+            4 => scan_all_ssse3_impl::<4, F>(grouped, tables, threshold, visit),
+            c => unreachable!("grouping is defined for c <= 4, got {c}"),
+        }
+    }
+
+    /// Candidate bitmask of **two adjacent blocks** — AVX2: each small
+    /// table is broadcast to both 128-bit lanes, each 256-bit load fetches
+    /// the same component array of block `b` (low lane) and block `b+1`
+    /// (high lane). Bits 0–15 of the result are block `b`, bits 16–31
+    /// block `b+1`.
+    ///
+    /// # Safety
+    ///
+    /// CPU must support AVX2 and `block` must point at
+    /// `2 × bytes_per_block(C)` readable bytes.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn block_pair_mask_avx2<const C: usize>(
+        block: *const u8,
+        regs: &[__m256i; FS_M],
+        threshold_vec: __m256i,
+    ) -> u32 {
+        let bpb = bytes_per_block(C);
+        let low = _mm256_set1_epi8(0x0F);
+        let mut acc = _mm256_setzero_si256();
+        let mut array = 0usize;
+
+        // One 256-bit vector = array `k` of block b (low) and b+1 (high).
+        let load_pair = |array: usize| -> __m256i {
+            let lo = _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i);
+            let hi = _mm_loadu_si128(block.add(bpb + array * FS_BLOCK) as *const __m128i);
+            _mm256_set_m128i(hi, lo)
+        };
+
+        for p in 0..C / 2 {
+            let bytes = load_pair(array);
+            array += 1;
+            let lo = _mm256_and_si256(bytes, low);
+            acc = _mm256_adds_epu8(acc, _mm256_shuffle_epi8(regs[2 * p], lo));
+            let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(bytes), low);
+            acc = _mm256_adds_epu8(acc, _mm256_shuffle_epi8(regs[2 * p + 1], hi));
+        }
+        if C % 2 == 1 {
+            let bytes = load_pair(array);
+            array += 1;
+            let lo = _mm256_and_si256(bytes, low);
+            acc = _mm256_adds_epu8(acc, _mm256_shuffle_epi8(regs[C - 1], lo));
+        }
+        for j in C..FS_M {
+            let bytes = load_pair(array);
+            array += 1;
+            let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(bytes), low);
+            acc = _mm256_adds_epu8(acc, _mm256_shuffle_epi8(regs[j], hi));
+        }
+
+        let cand = _mm256_cmpeq_epi8(_mm256_min_epu8(acc, threshold_vec), acc);
+        _mm256_movemask_epi8(cand) as u32
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scan_all_avx2_impl<const C: usize, F: Visit>(
+        grouped: &GroupedCodes,
+        tables: &ScanTables,
+        mut threshold: u8,
+        visit: &mut F,
+    ) -> u64 {
+        // 128-bit registers for the single-block tail path...
+        let mut regs128 = [_mm_setzero_si128(); FS_M];
+        for j in C..FS_M {
+            regs128[j] = _mm_loadu_si128(tables.small[j].as_ptr() as *const __m128i);
+        }
+        // ...and their 256-bit broadcasts for the pair path.
+        let mut regs256 = [_mm256_setzero_si256(); FS_M];
+        for j in C..FS_M {
+            regs256[j] = _mm256_broadcastsi128_si256(regs128[j]);
+        }
+        let mut tvec128 = _mm_set1_epi8(threshold as i8);
+        let mut tvec256 = _mm256_set1_epi8(threshold as i8);
+        let bpb = bytes_per_block(C);
+        let mut candidates = 0u64;
+
+        for (gi, g) in grouped.groups().iter().enumerate() {
+            for j in 0..C {
+                let portion = g.key[j] as usize * PORTION;
+                regs128[j] = _mm_loadu_si128(
+                    tables.grouped[j].as_ptr().add(portion) as *const __m128i
+                );
+                regs256[j] = _mm256_broadcastsi128_si256(regs128[j]);
+            }
+            let blocks = grouped.group_blocks(g);
+            let base = blocks.as_ptr();
+            let full_blocks = g.len / FS_BLOCK;
+            let pairs = full_blocks / 2;
+
+            // Two full blocks per iteration.
+            for pair in 0..pairs {
+                let b = pair * 2;
+                let mut mask = block_pair_mask_avx2::<C>(base.add(b * bpb), &regs256, tvec256);
+                if mask != 0 {
+                    candidates += mask.count_ones() as u64;
+                    loop {
+                        let lane = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let new_threshold = visit(gi, b * FS_BLOCK + lane);
+                        if new_threshold != threshold {
+                            threshold = new_threshold;
+                            tvec128 = _mm_set1_epi8(threshold as i8);
+                            tvec256 = _mm256_set1_epi8(threshold as i8);
+                        }
+                        if mask == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Odd full block, then the ragged tail: 128-bit path.
+            let mut singles: [(usize, u16); 2] = [(0, 0); 2];
+            let mut n_singles = 0usize;
+            if full_blocks % 2 == 1 {
+                singles[n_singles] = (full_blocks - 1, u16::MAX);
+                n_singles += 1;
+            }
+            let tail = g.len % FS_BLOCK;
+            if tail != 0 {
+                singles[n_singles] = (full_blocks, (1u16 << tail) - 1);
+                n_singles += 1;
+            }
+            for &(b, valid_mask) in &singles[..n_singles] {
+                let mut mask =
+                    block_mask_ssse3::<C>(base.add(b * bpb), &regs128, tvec128) & valid_mask;
+                candidates += mask.count_ones() as u64;
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let new_threshold = visit(gi, b * FS_BLOCK + lane);
+                    if new_threshold != threshold {
+                        threshold = new_threshold;
+                        tvec128 = _mm_set1_epi8(threshold as i8);
+                        tvec256 = _mm256_set1_epi8(threshold as i8);
+                    }
+                }
+            }
+        }
+        candidates
+    }
+
+    /// AVX2 whole-partition scan; returns exactly the same neighbors as the
+    /// other kernels (candidate visiting order is identical; only the
+    /// pruning statistics may differ marginally, because a block pair is
+    /// masked against a single threshold snapshot).
+    ///
+    /// # Safety
+    ///
+    /// CPU must support AVX2.
+    pub(crate) unsafe fn scan_all_avx2<F: Visit>(
+        grouped: &GroupedCodes,
+        tables: &ScanTables,
+        threshold: u8,
+        visit: &mut F,
+    ) -> u64 {
+        match grouped.layout().c() {
+            0 => scan_all_avx2_impl::<0, F>(grouped, tables, threshold, visit),
+            1 => scan_all_avx2_impl::<1, F>(grouped, tables, threshold, visit),
+            2 => scan_all_avx2_impl::<2, F>(grouped, tables, threshold, visit),
+            3 => scan_all_avx2_impl::<3, F>(grouped, tables, threshold, visit),
+            4 => scan_all_avx2_impl::<4, F>(grouped, tables, threshold, visit),
+            c => unreachable!("grouping is defined for c <= 4, got {c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqfs_core::RowMajorCodes;
+
+    fn sample_tables(c: usize, seed: u8) -> ScanTables {
+        let mut small = [[0u8; PORTION]; FS_M];
+        for (j, table) in small.iter_mut().enumerate() {
+            for (i, slot) in table.iter_mut().enumerate() {
+                *slot = ((i * 17 + j * 31 + seed as usize * 7) % 93) as u8;
+            }
+        }
+        let grouped = (0..c)
+            .map(|j| {
+                (0..256)
+                    .map(|i| ((i * 13 + j * 59 + seed as usize * 3) % 97) as u8)
+                    .collect::<Vec<u8>>()
+            })
+            .collect();
+        ScanTables { grouped, small }
+    }
+
+    fn sample_grouped(n: usize, c: usize) -> GroupedCodes {
+        let bytes: Vec<u8> = (0..n * FS_M).map(|i| ((i * 41 + 5) % 256) as u8).collect();
+        GroupedCodes::build(&RowMajorCodes::new(bytes, FS_M), c)
+    }
+
+    /// Oracle: lower bound of one vector from its reconstructed code and
+    /// the logical small tables (portions + minimum tables).
+    fn oracle_bound(
+        grouped: &GroupedCodes,
+        tables: &ScanTables,
+        g: usize,
+        idx: usize,
+    ) -> u8 {
+        let c = grouped.layout().c();
+        let meta = grouped.groups()[g];
+        let code = grouped.read_code(&meta, idx);
+        let mut acc = 0u8;
+        for (j, &byte) in code.iter().enumerate() {
+            let v = if j < c {
+                tables.grouped[j][byte as usize]
+            } else {
+                tables.small[j][(byte >> 4) as usize]
+            };
+            acc = acc.saturating_add(v);
+        }
+        acc
+    }
+
+    fn collect_candidates(
+        grouped: &GroupedCodes,
+        tables: &ScanTables,
+        t: u8,
+        ssse3: bool,
+    ) -> (Vec<(usize, usize)>, u64) {
+        let mut tables = tables.clone();
+        let mut visited = Vec::new();
+        let count = if ssse3 {
+            #[cfg(target_arch = "x86_64")]
+            {
+                assert!(std::arch::is_x86_feature_detected!("ssse3"));
+                unsafe {
+                    x86::scan_all_ssse3(grouped, &tables, t, &mut |g, idx| {
+                        visited.push((g, idx));
+                        t
+                    })
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!()
+        } else {
+            scan_all_portable(grouped, &mut tables, t, &mut |g, idx| {
+                visited.push((g, idx));
+                t
+            })
+        };
+        (visited, count)
+    }
+
+    #[test]
+    fn portable_scan_matches_per_vector_oracle() {
+        for c in [0usize, 1, 2, 3, 4] {
+            let grouped = sample_grouped(600, c);
+            let tables = sample_tables(c, c as u8);
+            for t in [0u8, 40, 90, 200, 255] {
+                let (visited, count) = collect_candidates(&grouped, &tables, t, false);
+                assert_eq!(visited.len() as u64, count);
+                let set: std::collections::HashSet<(usize, usize)> =
+                    visited.into_iter().collect();
+                for (gi, g) in grouped.groups().iter().enumerate() {
+                    for idx in 0..g.len {
+                        // The oracle uses the *exact* quantized entry for
+                        // grouped components, which equals the portion value
+                        // the kernel looks up.
+                        let bound = oracle_bound(&grouped, &tables, gi, idx);
+                        assert_eq!(
+                            set.contains(&(gi, idx)),
+                            bound <= t,
+                            "c={c} t={t} g={gi} idx={idx} bound={bound}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn ssse3_scan_is_bit_identical_to_portable() {
+        if !std::arch::is_x86_feature_detected!("ssse3") {
+            eprintln!("skipping: no SSSE3");
+            return;
+        }
+        for c in [0usize, 1, 2, 3, 4] {
+            for n in [40usize, 700] {
+                let grouped = sample_grouped(n, c);
+                let tables = sample_tables(c, c as u8 + 3);
+                for t in [0u8, 1, 63, 128, 254, 255] {
+                    let (vp, cp) = collect_candidates(&grouped, &tables, t, false);
+                    let (vs, cs) = collect_candidates(&grouped, &tables, t, true);
+                    assert_eq!(vp, vs, "c={c} n={n} t={t}");
+                    assert_eq!(cp, cs, "c={c} n={n} t={t}");
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_scan_matches_portable_under_static_threshold() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            eprintln!("skipping: no AVX2");
+            return;
+        }
+        // With a static threshold the pair kernel's masks decompose into
+        // exactly the per-block masks: full equality of visit sequences.
+        for c in [0usize, 1, 2, 3, 4] {
+            for n in [15usize, 16, 31, 32, 33, 700] {
+                let grouped = sample_grouped(n, c);
+                let tables = sample_tables(c, c as u8 + 11);
+                for t in [0u8, 63, 128, 254, 255] {
+                    let (vp, cp) = collect_candidates(&grouped, &tables, t, false);
+                    let mut visited = Vec::new();
+                    // SAFETY: AVX2 detected above.
+                    let ca = unsafe {
+                        x86::scan_all_avx2(&grouped, &tables, t, &mut |g, idx| {
+                            visited.push((g, idx));
+                            t
+                        })
+                    };
+                    assert_eq!(vp, visited, "c={c} n={n} t={t}");
+                    assert_eq!(cp, ca, "c={c} n={n} t={t}");
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn kernels_agree_under_dynamic_thresholds() {
+        if !std::arch::is_x86_feature_detected!("ssse3") {
+            return;
+        }
+        let grouped = sample_grouped(900, 4);
+        let tables = sample_tables(4, 5);
+        let run = |ssse3: bool| -> Vec<(usize, usize)> {
+            let mut t = 255u8;
+            let mut visited = Vec::new();
+            let mut visit = |g: usize, idx: usize| {
+                visited.push((g, idx));
+                t = t.saturating_sub(16);
+                t
+            };
+            if ssse3 {
+                unsafe {
+                    x86::scan_all_ssse3(&grouped, &tables, 255, &mut visit);
+                }
+            } else {
+                let mut tables = tables.clone();
+                scan_all_portable(&grouped, &mut tables, 255, &mut visit);
+            }
+            visited
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn threshold_zero_with_nonzero_tables_prunes_everything() {
+        let grouped = sample_grouped(200, 4);
+        let mut tables = sample_tables(4, 2);
+        for table in &mut tables.grouped {
+            for v in table.iter_mut() {
+                *v = (*v).max(1);
+            }
+        }
+        for table in &mut tables.small {
+            for v in table.iter_mut() {
+                *v = (*v).max(1);
+            }
+        }
+        let count = scan_all_portable(&grouped, &mut tables, 0, &mut |_, _| 0);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn kernel_resolution() {
+        assert!(Kernel::Auto.resolve().is_ok());
+        assert_eq!(Kernel::Portable.resolve().unwrap(), ResolvedKernel::Portable);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("ssse3") {
+                assert_eq!(Kernel::Ssse3.resolve().unwrap(), ResolvedKernel::Ssse3);
+            }
+        }
+    }
+}

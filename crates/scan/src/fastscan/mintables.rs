@@ -1,0 +1,100 @@
+//! Minimum tables (paper §4.3, Figure 10).
+//!
+//! For the components that are *not* grouped, Fast Scan cannot load the
+//! exact table portion per group. Instead, each 256-entry distance table is
+//! folded into 16 values: the minimum of each 16-entry portion, indexed by
+//! the **high nibble** of the stored component. The minimum is a valid lower
+//! bound for any entry of its portion, and the §4.3 optimized centroid-index
+//! assignment makes portions hold mutually close values so these minima are
+//! tight.
+
+use crate::fastscan::layout::PORTION;
+use crate::quantize::DistanceQuantizer;
+use pqfs_core::DistanceTables;
+
+/// Minimum of each 16-entry portion of one distance table, in float domain.
+///
+/// # Panics
+///
+/// Panics if `table.len()` is not a multiple of [`PORTION`].
+pub fn min_table(table: &[f32]) -> Vec<f32> {
+    assert_eq!(table.len() % PORTION, 0, "table must divide into 16-entry portions");
+    table
+        .chunks_exact(PORTION)
+        .map(|p| p.iter().copied().fold(f32::INFINITY, f32::min))
+        .collect()
+}
+
+/// Quantized minimum tables for components `c..m`, ready to be used as the
+/// small tables `S_c … S_{m−1}`.
+///
+/// The minimum is computed in float domain and quantized afterwards; since
+/// quantization is monotone this equals the minimum of the quantized
+/// entries, and rounding down preserves the lower-bound property.
+pub fn quantized_min_tables(
+    tables: &DistanceTables,
+    quantizer: &DistanceQuantizer,
+    c: usize,
+) -> Vec<[u8; PORTION]> {
+    (c..tables.m())
+        .map(|j| {
+            let mins = min_table(tables.table(j));
+            let mut out = [0u8; PORTION];
+            for (slot, &v) in out.iter_mut().zip(mins.iter()) {
+                *slot = quantizer.quantize_value(j, v);
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_table_takes_portion_minima() {
+        // 32-entry table: portion 0 = 16..32 reversed, portion 1 = 100+i.
+        let mut table: Vec<f32> = (0..16).map(|i| (31 - i) as f32).collect();
+        table.extend((0..16).map(|i| (100 + i) as f32));
+        let mins = min_table(&table);
+        assert_eq!(mins, vec![16.0, 100.0]);
+    }
+
+    #[test]
+    fn min_is_lower_bound_for_every_entry() {
+        let table: Vec<f32> = (0..256).map(|i| ((i * 97 + 13) % 509) as f32).collect();
+        let mins = min_table(&table);
+        for (i, &v) in table.iter().enumerate() {
+            assert!(mins[i / PORTION] <= v);
+        }
+    }
+
+    #[test]
+    fn quantized_min_tables_cover_requested_components() {
+        let data: Vec<f32> = (0..4 * 256).map(|i| (i % 100) as f32).collect();
+        let tables = DistanceTables::from_raw(data, 4, 256);
+        let q = DistanceQuantizer::new(&tables, 300.0, 254);
+        let all = quantized_min_tables(&tables, &q, 0);
+        assert_eq!(all.len(), 4);
+        let tail = quantized_min_tables(&tables, &q, 3);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(all[3], tail[0]);
+    }
+
+    #[test]
+    fn quantized_min_is_lower_bound_of_quantized_entries() {
+        let data: Vec<f32> = (0..2 * 256).map(|i| ((i * 37) % 997) as f32 * 0.25).collect();
+        let tables = DistanceTables::from_raw(data, 2, 256);
+        let q = DistanceQuantizer::new(&tables, 150.0, 254);
+        let qmins = quantized_min_tables(&tables, &q, 0);
+        for j in 0..2 {
+            for (i, &v) in tables.table(j).iter().enumerate() {
+                assert!(
+                    qmins[j][i / PORTION] <= q.quantize_value(j, v),
+                    "j={j}, i={i}"
+                );
+            }
+        }
+    }
+}

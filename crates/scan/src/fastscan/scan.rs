@@ -1,0 +1,158 @@
+//! The Fast Scan driver: warm-up, quantization, kernel invocation (paper
+//! Figure 6).
+
+use crate::fastscan::kernel::{scan_all_portable, ResolvedKernel, ScanTables};
+use crate::fastscan::layout::PORTION;
+use crate::fastscan::mintables::quantized_min_tables;
+use crate::fastscan::FastScanIndex;
+use crate::quantize::DistanceQuantizer;
+use crate::result::{ScanResult, ScanStats};
+use crate::ScanError;
+use pqfs_core::{DistanceTables, TopK};
+
+/// Per-query scan parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanParams {
+    /// Number of nearest neighbors to return.
+    pub topk: usize,
+    /// Fraction of the database scanned with plain PQ Scan to find the
+    /// temporary nearest neighbor that sets `qmax` (paper §4.4; `keep`).
+    /// The paper recommends 0.1 %–1 %; the default is 0.5 %.
+    ///
+    /// The paper takes the *first* `keep%` of its (arbitrarily ordered)
+    /// database; our storage is grouped — i.e. sorted by code prefix — so a
+    /// prefix would be a maximally biased sample. The warm-up therefore
+    /// scans a **strided** sample of the grouped storage, which preserves
+    /// the paper's intent (a representative sample of distances) on any
+    /// storage order (DESIGN.md §3).
+    pub keep: f64,
+}
+
+impl ScanParams {
+    /// Parameters with the paper's default `keep = 0.5 %`.
+    pub fn new(topk: usize) -> Self {
+        ScanParams { topk, keep: 0.005 }
+    }
+
+    /// Replaces the `keep` fraction (clamped to `[0, 1]` at scan time).
+    pub fn with_keep(mut self, keep: f64) -> Self {
+        self.keep = keep;
+        self
+    }
+}
+
+pub(crate) fn scan(
+    index: &FastScanIndex,
+    tables: &DistanceTables,
+    params: &ScanParams,
+) -> Result<ScanResult, ScanError> {
+    if tables.m() != 8 || tables.ksub() != 256 {
+        return Err(ScanError::NeedsPq8x8 { m: tables.m(), ksub: tables.ksub() });
+    }
+    let kernel = index.kernel().resolve()?;
+    let grouped = index.grouped();
+    let c = grouped.layout().c();
+    let n = grouped.len();
+    let mut heap = TopK::new(params.topk.max(1));
+    let mut stats = ScanStats { scanned: n as u64, ..ScanStats::default() };
+    if n == 0 {
+        return Ok(ScanResult { neighbors: Vec::new(), stats });
+    }
+
+    // ---- Warm-up: plain PQ Scan over a strided keep% sample (§4.4). ----
+    // Sampled vectors are pushed into the real heap and excluded from the
+    // fast path, so the overall result is exactly PQ Scan's.
+    let target = (params.keep.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    let stride = if target == 0 { 0usize } else { (n / target).max(1) };
+    let mut warm = 0u64;
+    if stride > 0 {
+        for g in grouped.groups() {
+            // First multiple of `stride` at or after the group start.
+            let mut pos = g.start.div_ceil(stride) * stride;
+            while pos < g.start + g.len {
+                let code = grouped.read_code(g, pos - g.start);
+                heap.push(tables.distance(&code), grouped.id(pos) as u64);
+                warm += 1;
+                pos += stride;
+            }
+        }
+    }
+    stats.warmup = warm;
+
+    // ---- Quantization setup (§4.4): qmax = distance to the temporary
+    // nearest neighbor, falling back to the maximum possible distance.
+    let qmax = if heap.is_full() { heap.threshold() } else { tables.max_sum() };
+    let quantizer = DistanceQuantizer::new(tables, qmax, index.bins());
+
+    // Quantized full tables for the grouped components (their 16-entry
+    // portions become S_0..S_{c-1}, selected per group by the kernel)...
+    let grouped_tables: Vec<Vec<u8>> =
+        (0..c).map(|j| quantizer.quantize_table(j, tables.table(j))).collect();
+    // ...and the minimum tables S_c..S_7, constant for the whole query.
+    let min_tables = quantized_min_tables(tables, &quantizer, c);
+    let mut scan_tables = ScanTables { grouped: grouped_tables, small: [[0u8; PORTION]; 8] };
+    for (j, table) in min_tables.iter().enumerate() {
+        scan_tables.small[c + j] = *table;
+    }
+
+    let threshold = quantizer.quantize_threshold(heap.threshold());
+
+    // ---- Fast path: the kernel walks every group/block; this closure
+    // verifies each surviving candidate.
+    let mut verified = 0u64;
+    let groups = grouped.groups();
+    let mut current_threshold = threshold;
+    let mut visit = |gi: usize, idx: usize| -> u8 {
+        let g = &groups[gi];
+        let pos = g.start + idx;
+        // Warm-up members were already pushed; skip to avoid duplicates.
+        if stride > 0 && pos % stride == 0 {
+            return current_threshold;
+        }
+        let code = grouped.read_code(g, idx);
+        let d = tables.distance(&code);
+        verified += 1;
+        if heap.push(d, grouped.id(pos) as u64) {
+            current_threshold = quantizer.quantize_threshold(heap.threshold());
+        }
+        current_threshold
+    };
+
+    match kernel {
+        ResolvedKernel::Portable => {
+            scan_all_portable(grouped, &mut scan_tables.clone(), threshold, &mut visit);
+        }
+        #[cfg(target_arch = "x86_64")]
+        ResolvedKernel::Ssse3 => {
+            // SAFETY: resolution verified SSSE3 support.
+            unsafe {
+                crate::fastscan::kernel::x86::scan_all_ssse3(
+                    grouped,
+                    &scan_tables,
+                    threshold,
+                    &mut visit,
+                );
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        ResolvedKernel::Avx2 => {
+            // SAFETY: resolution verified AVX2 support.
+            unsafe {
+                crate::fastscan::kernel::x86::scan_all_avx2(
+                    grouped,
+                    &scan_tables,
+                    threshold,
+                    &mut visit,
+                );
+            }
+        }
+    }
+    stats.verified = verified;
+
+    // A vector is "pruned" when its exact pqdistance was never computed in
+    // the fast path; warm-up members are accounted separately, so the
+    // invariant `warmup + pruned + verified == scanned` always holds.
+    stats.pruned = n as u64 - stats.warmup - stats.verified;
+
+    Ok(ScanResult { neighbors: heap.into_sorted(), stats })
+}

@@ -1,0 +1,35 @@
+//! Scan implementations for PQ nearest-neighbor search: the four PQ Scan
+//! baselines the paper analyzes (§3) and **PQ Fast Scan** itself (§4).
+//!
+//! | Implementation | Paper | Layout | Per-vector work |
+//! |---|---|---|---|
+//! | [`scan_naive`] | Alg. 1 | row-major | 8 mem1 + 8 mem2 loads, scalar adds |
+//! | [`scan_libpq`] | §3.1 | row-major | 1×64-bit mem1 load + shifts, 8 mem2 |
+//! | [`scan_avx`] | §3.2 Fig. 4 | transposed | scalar lookups, SIMD vertical adds |
+//! | [`scan_gather`] | §3.2 Fig. 5 | transposed | AVX2 `vpgatherdps` lookups |
+//! | [`FastScanIndex`] | §4 | grouped+packed | in-register `pshufb` lookups, ~95 % of exact computations pruned |
+//! | [`scan_quantize_only`] | §5.5 | row-major | 8-bit bounds from full tables (pruning-power study) |
+//!
+//! Every implementation returns the **exact same result set** — the `topk`
+//! smallest `(distance, id)` pairs — which the test suite verifies pairwise
+//! and property-based tests verify against brute force.
+
+pub mod avx;
+mod error;
+pub mod fastscan;
+pub mod gather;
+pub mod libpq;
+pub mod naive;
+pub mod quantize;
+pub mod quantize_only;
+mod result;
+
+pub use avx::scan_avx;
+pub use error::ScanError;
+pub use fastscan::{FastScanIndex, FastScanOptions, Kernel, ScanParams};
+pub use gather::scan_gather;
+pub use libpq::scan_libpq;
+pub use naive::scan_naive;
+pub use quantize::{DistanceQuantizer, DEFAULT_BINS, NO_PRUNE, PAPER_BINS};
+pub use quantize_only::scan_quantize_only;
+pub use result::{ScanResult, ScanStats};

@@ -1,0 +1,214 @@
+//! Quantization of floating-point distances to 8-bit integers (paper §4.4).
+//!
+//! Fast Scan shrinks 32-bit distance-table entries to 8 bits so that 16 of
+//! them fit a SIMD register. The paper quantizes between a `qmin` bound (the
+//! smallest table entry) and a `qmax` bound (the distance to a *temporary*
+//! nearest neighbor found by scanning the first `keep%` of the database);
+//! everything above `qmax` saturates.
+//!
+//! Our scheme makes the pruning **provably safe** (DESIGN §3): each table
+//! `j` is quantized with its own bias `bias_j = min_i D_j[i]` and a shared
+//! step `Δ = (qmax − Σ_j bias_j) / bins`, rounding down:
+//!
+//! ```text
+//! q_j(v) = clamp(⌊(v − bias_j) / Δ⌋, 0, 255)
+//! T(t)   = clamp(⌊(t − Σ_j bias_j) / Δ⌋, 0, 255)
+//! ```
+//!
+//! For any code `p` with true distance `d = Σ_j D_j[p_j]` and any small
+//! table values `v_j ≤ D_j[p_j]`:
+//! `Σ_j q_j(v_j) ≤ (d − Σ_j bias_j)/Δ`, so `sat_sum_j q_j(v_j) > T(t)`
+//! implies `d > t` — a pruned vector can never belong to the exact top-k.
+//! Saturating adds (cap 255) only lower the left side, preserving safety.
+//!
+//! `bins` defaults to [`DEFAULT_BINS`] = 254, using the full unsigned byte
+//! range (the SSE2 `min_epu8`/`cmpeq` trick gives us unsigned comparisons);
+//! `bins = 126` reproduces the paper's signed-range variant and is exposed
+//! for the ablation study.
+
+use pqfs_core::DistanceTables;
+
+/// Default number of quantization bins (full unsigned-byte range).
+pub const DEFAULT_BINS: u16 = 254;
+
+/// The paper's bin count (positive range of a signed byte, §4.4).
+pub const PAPER_BINS: u16 = 126;
+
+/// Sentinel threshold meaning "prune nothing": no saturated 8-bit sum can
+/// exceed it.
+pub const NO_PRUNE: u8 = u8::MAX;
+
+/// Per-query quantizer mapping float distances to bytes.
+#[derive(Debug, Clone)]
+pub struct DistanceQuantizer {
+    biases: Vec<f32>,
+    bias_sum: f32,
+    inv_delta: f32,
+    qmax: f32,
+    bins: u16,
+}
+
+impl DistanceQuantizer {
+    /// Builds a quantizer for one query's distance tables.
+    ///
+    /// `qmax` is the distance of the temporary nearest neighbor (or
+    /// [`DistanceTables::max_sum`] when no warm-up ran). `bins` is clamped
+    /// into `1..=254` so an exact-`qmax` threshold is still representable
+    /// below the [`NO_PRUNE`] sentinel.
+    pub fn new(tables: &DistanceTables, qmax: f32, bins: u16) -> Self {
+        let bins = bins.clamp(1, 254);
+        let biases = tables.per_table_min();
+        let bias_sum: f32 = biases.iter().sum();
+        let span = qmax - bias_sum;
+        let inv_delta = if qmax.is_finite() && span > 0.0 {
+            bins as f32 / span
+        } else {
+            // Degenerate tables (all entries equal) or an unusable qmax:
+            // quantize everything to 0 and never prune.
+            0.0
+        };
+        DistanceQuantizer { biases, bias_sum, inv_delta, qmax, bins }
+    }
+
+    /// Number of distance tables covered.
+    pub fn m(&self) -> usize {
+        self.biases.len()
+    }
+
+    /// The configured bin count.
+    pub fn bins(&self) -> u16 {
+        self.bins
+    }
+
+    /// The `qmax` bound this quantizer was built with.
+    pub fn qmax(&self) -> f32 {
+        self.qmax
+    }
+
+    /// Quantizes one entry of table `j` (rounding down — the lower-bound
+    /// direction).
+    #[inline]
+    pub fn quantize_value(&self, j: usize, v: f32) -> u8 {
+        let scaled = (v - self.biases[j]) * self.inv_delta;
+        // NaN-free by construction (tables are finite); clamp handles the
+        // negative case defensively.
+        scaled.floor().clamp(0.0, 255.0) as u8
+    }
+
+    /// Quantizes a full 256-entry table row (used by the grouped small
+    /// tables and by the §5.5 quantization-only variant).
+    pub fn quantize_table(&self, j: usize, table: &[f32]) -> Vec<u8> {
+        table.iter().map(|&v| self.quantize_value(j, v)).collect()
+    }
+
+    /// Quantizes the pruning threshold `t` (the current top-k distance).
+    /// Returns [`NO_PRUNE`] for an infinite `t` or when quantization is
+    /// degenerate.
+    #[inline]
+    pub fn quantize_threshold(&self, t: f32) -> u8 {
+        if !t.is_finite() || self.inv_delta == 0.0 {
+            return NO_PRUNE;
+        }
+        let scaled = ((t - self.bias_sum) * self.inv_delta).floor();
+        scaled.clamp(0.0, NO_PRUNE as f32) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables_2x4() -> DistanceTables {
+        DistanceTables::from_raw(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], 2, 4)
+    }
+
+    #[test]
+    fn values_round_down_and_saturate() {
+        let t = tables_2x4();
+        // bias_sum = 11, qmax = 44, bins = 11 -> delta = 3.
+        let q = DistanceQuantizer::new(&t, 44.0, 11);
+        assert_eq!(q.quantize_value(0, 1.0), 0); // (1-1)/3 = 0
+        assert_eq!(q.quantize_value(0, 3.9), 0); // floor(2.9/3) = 0
+        assert_eq!(q.quantize_value(0, 4.0), 1);
+        assert_eq!(q.quantize_value(1, 40.0), 10);
+        assert_eq!(q.quantize_value(1, 10_000.0), 255, "saturates at byte max");
+    }
+
+    #[test]
+    fn threshold_of_qmax_is_bins() {
+        let t = tables_2x4();
+        let q = DistanceQuantizer::new(&t, 44.0, 11);
+        assert_eq!(q.quantize_threshold(44.0), 11);
+        assert_eq!(q.quantize_threshold(f32::INFINITY), NO_PRUNE);
+        assert_eq!(q.quantize_threshold(0.0), 0, "below-minimum clamps to 0");
+    }
+
+    #[test]
+    fn degenerate_tables_disable_pruning() {
+        let flat = DistanceTables::from_raw(vec![5.0; 8], 2, 4);
+        let q = DistanceQuantizer::new(&flat, 10.0, DEFAULT_BINS);
+        assert_eq!(q.quantize_value(0, 5.0), 0);
+        assert_eq!(q.quantize_threshold(10.0), NO_PRUNE);
+        let nan_qmax = DistanceQuantizer::new(&flat, f32::INFINITY, DEFAULT_BINS);
+        assert_eq!(nan_qmax.quantize_threshold(7.0), NO_PRUNE);
+    }
+
+    #[test]
+    fn bins_are_clamped() {
+        let t = tables_2x4();
+        assert_eq!(DistanceQuantizer::new(&t, 44.0, 0).bins(), 1);
+        assert_eq!(DistanceQuantizer::new(&t, 44.0, 1000).bins(), 254);
+    }
+
+    /// The safety theorem, tested directly: pruning implies the true
+    /// distance exceeds the threshold.
+    #[test]
+    fn pruning_is_safe_for_exhaustive_small_case() {
+        let t = tables_2x4();
+        for bins in [1u16, 5, 126, 254] {
+            for qmax_i in 1..60 {
+                let qmax = qmax_i as f32;
+                let q = DistanceQuantizer::new(&t, qmax, bins);
+                for c0 in 0..4u8 {
+                    for c1 in 0..4u8 {
+                        let d = t.distance(&[c0, c1]);
+                        let sum = q
+                            .quantize_value(0, t.table(0)[c0 as usize])
+                            .saturating_add(q.quantize_value(1, t.table(1)[c1 as usize]));
+                        for t10 in 0..50 {
+                            let thresh = t10 as f32;
+                            let tq = q.quantize_threshold(thresh);
+                            if sum > tq {
+                                assert!(
+                                    d > thresh,
+                                    "unsafe prune: d={d} t={thresh} sum={sum} tq={tq} \
+                                     bins={bins} qmax={qmax}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lower bounds built from per-portion minima are also safe.
+    #[test]
+    fn pruning_with_minimum_values_is_safe() {
+        let t = tables_2x4();
+        let q = DistanceQuantizer::new(&t, 44.0, DEFAULT_BINS);
+        // Use the table minimum as the small-table value (v_j <= D_j[p_j]).
+        let v0 = t.per_table_min()[0];
+        let v1 = t.per_table_min()[1];
+        let sum = q.quantize_value(0, v0).saturating_add(q.quantize_value(1, v1));
+        for c0 in 0..4u8 {
+            for c1 in 0..4u8 {
+                let d = t.distance(&[c0, c1]);
+                let thresh = 25.0f32;
+                if sum > q.quantize_threshold(thresh) {
+                    assert!(d > thresh);
+                }
+            }
+        }
+    }
+}

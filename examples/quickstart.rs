@@ -1,0 +1,68 @@
+//! Quickstart: train a product quantizer, build a PQ Fast Scan index, run a
+//! query, and verify the result matches plain PQ Scan exactly.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pq_fast_scan::prelude::*;
+
+fn main() {
+    let dim = 128;
+    println!("== PQ Fast Scan quickstart ==");
+
+    // 1. Synthetic SIFT-like data (ANN_SIFT1B substitute, see DESIGN.md).
+    let config = SyntheticConfig::sift_like().with_seed(42);
+    let mut dataset = SyntheticDataset::new(&config);
+    let train = dataset.sample(5_000);
+    let base = dataset.sample(100_000);
+    let query = dataset.sample(1);
+    println!("dataset: {} base vectors, dim {dim}", base.len() / dim);
+
+    // 2. Train a PQ 8x8 quantizer (the paper's configuration) and apply the
+    //    optimized centroid-index assignment (§4.3).
+    let mut pq = ProductQuantizer::train(&train, &PqConfig::pq8x8(dim), 7).expect("training");
+    pq.optimize_assignment(16, 7).expect("optimized assignment");
+    let codes = pq.encode_batch(&base).expect("encoding");
+    println!(
+        "encoded: {} bytes/vector ({}x compression)",
+        pq.config().code_bytes(),
+        dim * 4 / pq.config().code_bytes()
+    );
+
+    // 3. Build the Fast Scan index: vectors grouped on 4 components,
+    //    nibble-packed blocks.
+    let index = FastScanIndex::build(&codes, &FastScanOptions::default()).expect("index build");
+    println!(
+        "fast-scan index: {} groups on {} components, {:.2} bytes/vector stored",
+        index.num_groups(),
+        index.group_components(),
+        index.code_memory_bytes() as f64 / index.len() as f64,
+    );
+
+    // 4. Query: compute the per-query distance tables (Algorithm 1 step 2),
+    //    then scan (step 3).
+    let tables = DistanceTables::compute(&pq, &query).expect("tables");
+    let params = ScanParams::new(10).with_keep(0.005);
+
+    let (fast, fast_ms) = pq_fast_scan::metrics::time_ms(|| index.scan(&tables, &params));
+    let fast = fast.expect("scan");
+    let (slow, slow_ms) = pq_fast_scan::metrics::time_ms(|| scan_naive(&tables, &codes, 10));
+
+    println!("\ntop-10 neighbors (id, squared ADC distance):");
+    for n in &fast.neighbors {
+        println!("  {:>7}  {:.1}", n.id, n.dist);
+    }
+
+    assert_eq!(fast.ids(), slow.ids(), "Fast Scan must equal PQ Scan exactly");
+    println!("\nexactness check vs naive PQ Scan: OK");
+    println!(
+        "pruning power: {:.2}% of distance computations skipped",
+        100.0 * fast.stats.pruned_fraction()
+    );
+    println!(
+        "scan time: fast {fast_ms:.2} ms ({:.0} M vecs/s) vs naive {slow_ms:.2} ms ({:.0} M vecs/s)",
+        mvecs_per_sec(index.len(), fast_ms),
+        mvecs_per_sec(index.len(), slow_ms),
+    );
+}

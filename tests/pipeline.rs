@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full paper pipeline from raw vectors
+//! to Fast Scan results, spanning `pqfs-data`, `pqfs-kmeans`, `pqfs-core`,
+//! `pqfs-scan` and `pqfs-ivf`.
+
+use pq_fast_scan::prelude::*;
+
+const DIM: usize = 32;
+
+fn dataset(seed: u64) -> SyntheticDataset {
+    SyntheticDataset::new(
+        &SyntheticConfig::sift_like().with_dim(DIM).with_clusters(64).with_seed(seed),
+    )
+}
+
+#[test]
+fn full_pipeline_fastscan_equals_pqscan_and_finds_true_neighbors() {
+    let mut gen = dataset(11);
+    let train = gen.sample(3_000);
+    let base = gen.sample(20_000);
+    let queries = gen.sample(15);
+
+    let mut pq = ProductQuantizer::train(&train, &PqConfig::pq8x8(DIM), 3).unwrap();
+    pq.optimize_assignment(16, 3).unwrap();
+    let codes = pq.encode_batch(&base).unwrap();
+    let index = FastScanIndex::build(&codes, &FastScanOptions::default()).unwrap();
+
+    let mut recall_hits = 0usize;
+    let mut pruned_total = 0.0;
+    for q in queries.chunks_exact(DIM) {
+        let tables = DistanceTables::compute(&pq, q).unwrap();
+        let fast = index.scan(&tables, &ScanParams::new(100).with_keep(0.01)).unwrap();
+        let slow = scan_naive(&tables, &codes, 100);
+        assert_eq!(fast.ids(), slow.ids());
+        assert_eq!(fast.distances(), slow.distances());
+        pruned_total += fast.stats.pruned_fraction();
+
+        // ANN quality: the true nearest neighbor should almost always be in
+        // the approximate top-100 (PQ 8x8 over clustered 32-d data).
+        let truth = exact_knn(&base, DIM, q, 1)[0].id as u64;
+        if fast.ids().contains(&truth) {
+            recall_hits += 1;
+        }
+    }
+    assert!(recall_hits >= 12, "recall@100 too low: {recall_hits}/15");
+    let avg_pruned = pruned_total / 15.0;
+    assert!(avg_pruned > 0.5, "average pruning power {avg_pruned:.3} too low");
+}
+
+#[test]
+fn ivfadc_backends_agree_and_route_queries() {
+    let mut gen = dataset(21);
+    let train = gen.sample(3_000);
+    let base = gen.sample(8_000);
+    let queries = gen.sample(10);
+
+    let index = IvfadcIndex::build(
+        &train,
+        &base,
+        &IvfadcConfig::new(DIM, 8).with_seed(17),
+    )
+    .unwrap();
+    assert_eq!(index.len(), 8_000);
+    assert_eq!(index.partition_sizes().len(), 8);
+
+    for q in queries.chunks_exact(DIM) {
+        let naive = index.search(q, 50, SearchBackend::Naive, 0.0).unwrap();
+        let libpq = index.search(q, 50, SearchBackend::Libpq, 0.0).unwrap();
+        let fast = index.search(q, 50, SearchBackend::FastScan, 0.01).unwrap();
+        let ids = |o: &pq_fast_scan::ivf::SearchOutcome| {
+            o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&naive), ids(&libpq));
+        assert_eq!(ids(&naive), ids(&fast));
+        assert_eq!(naive.partition, index.select_partition(q));
+    }
+}
+
+#[test]
+fn grouped_storage_saves_memory_at_scale() {
+    // Large enough for c >= 2 grouping: the §4.2 saving materializes.
+    let mut gen = dataset(31);
+    let train = gen.sample(2_000);
+    let base = gen.sample(40_000); // auto c = 2 (>= 12_800)
+    let pq = ProductQuantizer::train(&train, &PqConfig::pq8x8(DIM), 4).unwrap();
+    let codes = pq.encode_batch(&base).unwrap();
+    let index = FastScanIndex::build(&codes, &FastScanOptions::default()).unwrap();
+    assert!(index.group_components() >= 2);
+    let saving = 1.0 - index.code_memory_bytes() as f64 / codes.memory_bytes() as f64;
+    // c = 2 stores 7 bytes/vector (12.5 % saving) minus block padding.
+    assert!(saving > 0.05, "saving {saving:.3} too small");
+}
+
+#[test]
+fn vectors_survive_a_fvecs_roundtrip_through_the_pipeline() {
+    let mut gen = dataset(41);
+    let base = gen.sample(500);
+    let mut path = std::env::temp_dir();
+    path.push(format!("pqfs-pipeline-{}.fvecs", std::process::id()));
+    pq_fast_scan::data::write_fvecs(&path, &base, DIM).unwrap();
+    let reloaded = pq_fast_scan::data::read_fvecs(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded.dim, DIM);
+    assert_eq!(reloaded.data, base);
+}
+
+#[test]
+fn optimized_assignment_tightens_minimum_tables() {
+    // The §4.3 claim, measured: with the optimized assignment the pruning
+    // power of Fast Scan should not regress (and typically improves)
+    // compared to arbitrary centroid indexes.
+    let mut gen = dataset(51);
+    let train = gen.sample(4_000);
+    let base = gen.sample(15_000);
+    let queries = gen.sample(20);
+
+    let plain = ProductQuantizer::train(&train, &PqConfig::pq8x8(DIM), 6).unwrap();
+    let mut optimized = plain.clone();
+    optimized.optimize_assignment(16, 6).unwrap();
+
+    let pruning = |pq: &ProductQuantizer| -> f64 {
+        let codes = pq.encode_batch(&base).unwrap();
+        let index = FastScanIndex::build(&codes, &FastScanOptions::default()).unwrap();
+        let mut total = 0.0;
+        for q in queries.chunks_exact(DIM) {
+            let tables = DistanceTables::compute(pq, q).unwrap();
+            let r = index.scan(&tables, &ScanParams::new(100).with_keep(0.01)).unwrap();
+            total += r.stats.pruned_fraction();
+        }
+        total / 20.0
+    };
+
+    let p_plain = pruning(&plain);
+    let p_opt = pruning(&optimized);
+    // Allow a small tolerance: the property is statistical, not pointwise.
+    assert!(
+        p_opt >= p_plain - 0.02,
+        "optimized assignment hurt pruning: {p_opt:.3} vs {p_plain:.3}"
+    );
+}
