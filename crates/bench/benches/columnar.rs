@@ -16,7 +16,9 @@ fn bench_columnar(c: &mut Criterion) {
     let mut group = c.benchmark_group("columnar");
     group.throughput(Throughput::Elements(N as u64));
     group.bench_function("topk10_exact", |b| b.iter(|| column.topk_max_exact(10)));
-    group.bench_function("topk10_small_tables", |b| b.iter(|| topk_max_fast(&column, 10)));
+    group.bench_function("topk10_small_tables", |b| {
+        b.iter(|| topk_max_fast(&column, 10))
+    });
     group.bench_function("mean_exact", |b| b.iter(|| column.exact_mean()));
     group.bench_function("mean_approximate", |b| b.iter(|| approximate_mean(&column)));
     group.finish();

@@ -9,9 +9,13 @@ use rand::{Rng, SeedableRng};
 fn bench_kmeans(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     // A sub-quantizer training set: 4096 vectors of d* = 16.
-    let train_set: Vec<f32> = (0..4096 * 16).map(|_| rng.gen_range(0.0f32..255.0)).collect();
+    let train_set: Vec<f32> = (0..4096 * 16)
+        .map(|_| rng.gen_range(0.0f32..255.0))
+        .collect();
     // Centroid relabeling input: 256 centroids of d* = 16.
-    let centroids: Vec<f32> = (0..256 * 16).map(|_| rng.gen_range(0.0f32..255.0)).collect();
+    let centroids: Vec<f32> = (0..256 * 16)
+        .map(|_| rng.gen_range(0.0f32..255.0))
+        .collect();
 
     let mut group = c.benchmark_group("kmeans");
     group.sample_size(10);

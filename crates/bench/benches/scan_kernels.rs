@@ -1,50 +1,43 @@
-//! Criterion microbenchmarks of every scan kernel on a fixed partition —
-//! the per-vector view of Figures 3 and 14.
+//! Criterion microbenchmarks of every scan backend on a fixed partition —
+//! the per-vector view of Figures 3 and 14, driven by the backend registry:
+//! every `Backend::ALL` entry is measured, so kernels added to the registry
+//! show up here automatically.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pqfs_bench::Fixture;
-use pqfs_core::TransposedCodes;
-use pqfs_scan::{
-    scan_avx, scan_gather, scan_libpq, scan_naive, FastScanIndex, FastScanOptions, Kernel,
-    ScanParams,
-};
+use pqfs_scan::{Backend, Kernel, ScanOpts, ScanParams};
+use std::sync::Arc;
 
 const N: usize = 131_072;
 const TOPK: usize = 100;
 
 fn bench_scans(c: &mut Criterion) {
     let mut fx = Fixture::train(1000);
-    let codes = fx.partition(N);
-    let transposed = TransposedCodes::from_row_major(&codes);
-    let fast_auto = FastScanIndex::build(&codes, &FastScanOptions::default()).unwrap();
-    let fast_portable = FastScanIndex::build(
-        &codes,
-        &FastScanOptions::default().with_kernel(Kernel::Portable),
-    )
-    .unwrap();
+    let codes = Arc::new(fx.partition(N));
+    let opts = ScanOpts::default();
     let query = fx.queries(1);
     let tables = fx.tables(&query);
     let params = ScanParams::new(TOPK).with_keep(0.005);
 
     let mut group = c.benchmark_group("scan_kernels");
     group.throughput(Throughput::Elements(N as u64));
-    group.bench_function(BenchmarkId::new("naive", N), |b| {
-        b.iter(|| scan_naive(&tables, &codes, TOPK))
-    });
-    group.bench_function(BenchmarkId::new("libpq", N), |b| {
-        b.iter(|| scan_libpq(&tables, &codes, TOPK))
-    });
-    group.bench_function(BenchmarkId::new("avx", N), |b| {
-        b.iter(|| scan_avx(&tables, &transposed, TOPK))
-    });
-    group.bench_function(BenchmarkId::new("gather", N), |b| {
-        b.iter(|| scan_gather(&tables, &transposed, TOPK))
-    });
-    group.bench_function(BenchmarkId::new("fastscan", N), |b| {
-        b.iter(|| fast_auto.scan(&tables, &params).unwrap())
-    });
+    for backend in Backend::ALL {
+        let scanner = backend
+            .scanner(&opts)
+            .prepare(Arc::clone(&codes))
+            .expect("prepare");
+        group.bench_function(BenchmarkId::new(backend.name(), N), |b| {
+            b.iter(|| scanner.scan(&tables, &params).unwrap())
+        });
+    }
+    // Fast Scan once more with the portable kernel forced, to expose the
+    // SIMD contribution in isolation.
+    let portable = Backend::FastScan
+        .scanner(&opts.clone().with_kernel(Kernel::Portable))
+        .prepare(Arc::clone(&codes))
+        .expect("prepare");
     group.bench_function(BenchmarkId::new("fastscan_portable", N), |b| {
-        b.iter(|| fast_portable.scan(&tables, &params).unwrap())
+        b.iter(|| portable.scan(&tables, &params).unwrap())
     });
     group.finish();
 }

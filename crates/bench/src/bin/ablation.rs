@@ -26,19 +26,32 @@ fn measure(fx: &mut Fixture, index: &FastScanIndex, queries: usize) -> (f64, f64
         pruned.push(100.0 * r.stats.pruned_fraction());
         speeds.push(mvecs_per_sec(index.len(), ms));
     }
-    (Summary::from_values(&pruned).median(), Summary::from_values(&speeds).median())
+    (
+        Summary::from_values(&pruned).median(),
+        Summary::from_values(&speeds).median(),
+    )
 }
 
 fn main() {
     let n = (1_000_000.0 * scale()) as usize;
     let queries = env_usize("PQFS_QUERIES", 5);
-    header("ablation", "DESIGN.md §4 (extension)", &format!("partition {n}, topk 100, keep 0.5%"));
+    header(
+        "ablation",
+        "DESIGN.md §4 (extension)",
+        &format!("partition {n}, topk 100, keep 0.5%"),
+    );
 
     // --- grouping components --------------------------------------------
     let mut fx = Fixture::train(99);
     let codes = fx.partition(n);
     println!("grouping components (c):");
-    let mut t = TextTable::new(vec!["c", "groups", "bytes/vec", "pruned [%]", "speed [Mv/s]"]);
+    let mut t = TextTable::new(vec![
+        "c",
+        "groups",
+        "bytes/vec",
+        "pruned [%]",
+        "speed [Mv/s]",
+    ]);
     for c in [0usize, 2, 3, 4] {
         let index =
             FastScanIndex::build(&codes, &FastScanOptions::default().with_group_components(c))
@@ -58,7 +71,11 @@ fn main() {
     println!("optimized centroid-index assignment (§4.3):");
     let mut t = TextTable::new(vec!["assignment", "pruned [%]", "speed [Mv/s]"]);
     for (name, optimized) in [("arbitrary", false), ("optimized", true)] {
-        let mut fx2 = if optimized { Fixture::train(99) } else { Fixture::train_unoptimized(99) };
+        let mut fx2 = if optimized {
+            Fixture::train(99)
+        } else {
+            Fixture::train_unoptimized(99)
+        };
         let codes2 = fx2.partition(n);
         let index = FastScanIndex::build(&codes2, &FastScanOptions::default()).expect("index");
         let (pruned, speed) = measure(&mut fx2, &index, queries);
@@ -80,23 +97,33 @@ fn main() {
     // --- kernel back-end --------------------------------------------------
     println!("kernel back-end:");
     let mut t = TextTable::new(vec!["kernel", "pruned [%]", "speed [Mv/s]"]);
-    for (name, kernel) in
-        [("portable", Kernel::Portable), ("ssse3", Kernel::Ssse3), ("avx2", Kernel::Avx2)]
-    {
+    for (name, kernel) in [
+        ("portable", Kernel::Portable),
+        ("ssse3", Kernel::Ssse3),
+        ("avx2", Kernel::Avx2),
+    ] {
         match FastScanIndex::build(&codes, &FastScanOptions::default().with_kernel(kernel)) {
             Ok(index) => {
                 // An unavailable kernel fails at scan time; probe first.
                 let q = fx.queries(1);
                 let tables = fx.tables(&q);
                 if index.scan(&tables, &ScanParams::new(10)).is_err() {
-                    t.row(vec![name.to_string(), "unavailable".to_string(), String::new()]);
+                    t.row(vec![
+                        name.to_string(),
+                        "unavailable".to_string(),
+                        String::new(),
+                    ]);
                     continue;
                 }
                 let (pruned, speed) = measure(&mut fx, &index, queries);
                 t.row(vec![name.to_string(), fmt_f(pruned, 2), fmt_f(speed, 0)]);
             }
             Err(_) => {
-                t.row(vec![name.to_string(), "unavailable".to_string(), String::new()]);
+                t.row(vec![
+                    name.to_string(),
+                    "unavailable".to_string(),
+                    String::new(),
+                ]);
             }
         }
     }

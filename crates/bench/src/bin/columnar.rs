@@ -14,7 +14,11 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let n = (4_000_000.0 * scale()) as usize;
     let reps = env_usize("PQFS_QUERIES", 5);
-    header("columnar", "§6 (Discussion)", &format!("column of {n} rows, 256-entry dictionary"));
+    header(
+        "columnar",
+        "§6 (Discussion)",
+        &format!("column of {n} rows, 256-entry dictionary"),
+    );
 
     let mut rng = StdRng::seed_from_u64(6);
     let data: Vec<f32> = (0..n)
@@ -31,14 +35,24 @@ fn main() {
     );
 
     // --- top-k -----------------------------------------------------------
-    let mut t = TextTable::new(vec!["query", "exact [ms]", "small-tables [ms]", "speedup", "pruned [%]"]);
+    let mut t = TextTable::new(vec![
+        "query",
+        "exact [ms]",
+        "small-tables [ms]",
+        "speedup",
+        "pruned [%]",
+    ]);
     for k in [1usize, 10, 100] {
         let exact_ms =
             Summary::from_values(&measure_ms(reps, || column.topk_max_exact(k))).median();
         let fast_ms =
             Summary::from_values(&measure_ms(reps, || topk_max_fast(&column, k))).median();
         let result = topk_max_fast(&column, k);
-        assert_eq!(result.items, column.topk_max_exact(k), "top-{k} must be exact");
+        assert_eq!(
+            result.items,
+            column.topk_max_exact(k),
+            "top-{k} must be exact"
+        );
         t.row(vec![
             format!("top-{k}"),
             fmt_f(exact_ms, 1),
@@ -56,7 +70,11 @@ fn main() {
     let approx = approximate_mean(&column);
     println!("approximate mean (16-entry table of means, 8-bit SIMD accumulation):");
     let mut t = TextTable::new(vec!["", "value", "time [ms]"]);
-    t.row(vec!["exact mean".to_string(), fmt_f(exact as f64, 4), fmt_f(exact_ms, 1)]);
+    t.row(vec![
+        "exact mean".to_string(),
+        fmt_f(exact as f64, 4),
+        fmt_f(exact_ms, 1),
+    ]);
     t.row(vec![
         format!("approx (err bound {:.3})", approx.error_bound),
         fmt_f(approx.value as f64, 4),

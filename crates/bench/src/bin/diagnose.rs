@@ -6,7 +6,7 @@ use pqfs_bench::{env_usize, Fixture};
 use pqfs_core::DistanceTables;
 use pqfs_scan::fastscan::grouping::{group_key, GroupedCodes};
 use pqfs_scan::fastscan::mintables::min_table;
-use pqfs_scan::{scan_naive, DistanceQuantizer, FastScanIndex, FastScanOptions, ScanParams};
+use pqfs_scan::{Backend, DistanceQuantizer, FastScanIndex, FastScanOptions, ScanOpts, ScanParams};
 
 fn main() {
     let n = env_usize("PQFS_N", 100_000);
@@ -17,11 +17,21 @@ fn main() {
     let tables: DistanceTables = fx.tables(&q);
 
     // True distance distribution.
-    let exact = scan_naive(&tables, &codes, n.min(codes.len()));
+    let exact = Backend::Naive
+        .scanner(&ScanOpts::default())
+        .scan(&tables, &codes, n.min(codes.len()))
+        .unwrap();
     let dists = exact.distances();
     let pct = |p: f64| dists[((dists.len() - 1) as f64 * p) as usize];
-    println!("distance distribution: min {:.0}  p1 {:.0}  p10 {:.0}  p50 {:.0}  p99 {:.0}  max {:.0}",
-        dists[0], pct(0.01), pct(0.10), pct(0.50), pct(0.99), *dists.last().unwrap());
+    println!(
+        "distance distribution: min {:.0}  p1 {:.0}  p10 {:.0}  p50 {:.0}  p99 {:.0}  max {:.0}",
+        dists[0],
+        pct(0.01),
+        pct(0.10),
+        pct(0.50),
+        pct(0.99),
+        *dists.last().unwrap()
+    );
     let t_true = dists[topk - 1];
     println!("true topk({topk})-th distance: {t_true:.0}");
 
@@ -43,7 +53,11 @@ fn main() {
         }
     }
     sample.sort_by(f32::total_cmp);
-    let qmax = if sample.len() >= topk { sample[topk - 1] } else { *sample.last().unwrap() };
+    let qmax = if sample.len() >= topk {
+        sample[topk - 1]
+    } else {
+        *sample.last().unwrap()
+    };
     println!(
         "warm-up: {} samples, best {:.0}, topk-th {:.0}  -> qmax {:.0} ({}x the true topk-th)",
         sample.len(),
@@ -57,8 +71,14 @@ fn main() {
     let quant = DistanceQuantizer::new(&tables, qmax, 254);
     let biases = tables.per_table_min();
     let bias_sum: f32 = biases.iter().sum();
-    println!("sum of per-table mins: {bias_sum:.0}; qmax - biases = {:.0}", qmax - bias_sum);
-    println!("threshold at true topk-th: T = {}", quant.quantize_threshold(t_true));
+    println!(
+        "sum of per-table mins: {bias_sum:.0}; qmax - biases = {:.0}",
+        qmax - bias_sum
+    );
+    println!(
+        "threshold at true topk-th: T = {}",
+        quant.quantize_threshold(t_true)
+    );
 
     // Bound tightness: for a sample of vectors, lower bound vs true
     // distance using exact portions for 0..c and min tables for c..8.
@@ -102,7 +122,9 @@ fn main() {
 
     // Actual scan stats.
     let index = FastScanIndex::build(&codes, &FastScanOptions::default()).unwrap();
-    let r = index.scan(&tables, &ScanParams::new(topk).with_keep(keep)).unwrap();
+    let r = index
+        .scan(&tables, &ScanParams::new(topk).with_keep(keep))
+        .unwrap();
     println!(
         "actual scan: warmup {} pruned {} verified {} -> pruning power {:.3}",
         r.stats.warmup,

@@ -11,7 +11,8 @@
 
 use pqfs_bench::{env_usize, header, scale, Fixture, DIM};
 use pqfs_metrics::{fmt_f, time_ms, Summary, TextTable};
-use pqfs_scan::{scan_libpq, FastScanIndex, FastScanOptions, ScanParams};
+use pqfs_scan::{Backend, ScanOpts, ScanParams};
+use std::sync::Arc;
 
 fn main() {
     let n = (1_000_000.0 * scale()) as usize;
@@ -23,8 +24,16 @@ fn main() {
     );
 
     let mut fx = Fixture::train(14);
-    let codes = fx.partition(n);
-    let index = FastScanIndex::build(&codes, &FastScanOptions::default()).expect("index");
+    let codes = Arc::new(fx.partition(n));
+    let opts = ScanOpts::default();
+    let fastpq = Backend::FastScan
+        .scanner(&opts)
+        .prepare(Arc::clone(&codes))
+        .expect("prepare");
+    let libpq = Backend::Libpq
+        .scanner(&opts)
+        .prepare(Arc::clone(&codes))
+        .expect("prepare");
     let queries = fx.queries(n_queries);
     let params = ScanParams::new(100).with_keep(0.005);
 
@@ -32,8 +41,8 @@ fn main() {
     let mut slow_times = Vec::new();
     for q in queries.chunks_exact(DIM) {
         let tables = fx.tables(q);
-        let (fast, t_fast) = time_ms(|| index.scan(&tables, &params).unwrap());
-        let (slow, t_slow) = time_ms(|| scan_libpq(&tables, &codes, 100));
+        let (fast, t_fast) = time_ms(|| fastpq.scan(&tables, &params).unwrap());
+        let (slow, t_slow) = time_ms(|| libpq.scan(&tables, &params).unwrap());
         assert_eq!(fast.ids(), slow.ids(), "implementations must agree");
         fast_times.push(t_fast);
         slow_times.push(t_slow);
@@ -46,7 +55,14 @@ fn main() {
     let mut t = TextTable::new(vec!["", "Mean", "25%", "Median", "75%", "95%"]);
     let row = |name: &str, s: &Summary| {
         let (mean, p25, med, p75, p95) = s.table4_row();
-        vec![name.to_string(), fmt_f(mean, 2), fmt_f(p25, 2), fmt_f(med, 2), fmt_f(p75, 2), fmt_f(p95, 2)]
+        vec![
+            name.to_string(),
+            fmt_f(mean, 2),
+            fmt_f(p25, 2),
+            fmt_f(med, 2),
+            fmt_f(p75, 2),
+            fmt_f(p95, 2),
+        ]
     };
     t.row(row("PQ Scan", &slow));
     t.row(row("PQ Fast Scan", &fast));
@@ -70,9 +86,17 @@ fn main() {
         let x = lo + (hi - lo) * i as f64 / 10.0;
         let frac = |s: &Summary| {
             let c = s.cdf(200);
-            c.iter().take_while(|(v, _)| *v <= x).last().map(|&(_, f)| f).unwrap_or(0.0)
+            c.iter()
+                .take_while(|(v, _)| *v <= x)
+                .last()
+                .map(|&(_, f)| f)
+                .unwrap_or(0.0)
         };
-        cdf.row(vec![fmt_f(x, 2), fmt_f(frac(&slow), 2), fmt_f(frac(&fast), 2)]);
+        cdf.row(vec![
+            fmt_f(x, 2),
+            fmt_f(frac(&slow), 2),
+            fmt_f(frac(&fast), 2),
+        ]);
     }
     println!("{cdf}");
     println!(

@@ -11,9 +11,9 @@
 //! ```
 
 use pqfs_bench::{env_usize, header, scaled_partition_sizes, Fixture};
-use pqfs_core::RowMajorCodes;
 use pqfs_metrics::{fmt_f, mvecs_per_sec, time_ms, Summary, TextTable};
-use pqfs_scan::{scan_libpq, FastScanIndex, FastScanOptions, ScanParams};
+use pqfs_scan::{Backend, PreparedScanner, ScanOpts, ScanParams};
+use std::sync::Arc;
 
 fn main() {
     let sizes = scaled_partition_sizes();
@@ -25,10 +25,22 @@ fn main() {
     );
 
     let mut fx = Fixture::train(16);
-    let partitions: Vec<RowMajorCodes> = sizes.iter().map(|&n| fx.partition(n)).collect();
-    let indexes: Vec<FastScanIndex> = partitions
+    let opts = ScanOpts::default();
+    let prepare = |backend: Backend, codes: &Arc<pqfs_core::RowMajorCodes>| {
+        backend
+            .scanner(&opts)
+            .prepare(Arc::clone(codes))
+            .expect("prepare")
+    };
+    let partitions: Vec<Arc<pqfs_core::RowMajorCodes>> =
+        sizes.iter().map(|&n| Arc::new(fx.partition(n))).collect();
+    let indexes: Vec<Box<dyn PreparedScanner>> = partitions
         .iter()
-        .map(|codes| FastScanIndex::build(codes, &FastScanOptions::default()).expect("index"))
+        .map(|codes| prepare(Backend::FastScan, codes))
+        .collect();
+    let libpqs: Vec<Box<dyn PreparedScanner>> = partitions
+        .iter()
+        .map(|codes| prepare(Backend::Libpq, codes))
         .collect();
 
     let keeps = [0.0001, 0.001, 0.005, 0.01, 0.05, 0.1];
@@ -45,10 +57,10 @@ fn main() {
     for topk in [100usize, 1000] {
         // libpq reference speed (keep-independent).
         let mut libpq_speeds = Vec::new();
-        for (codes, _) in partitions.iter().zip(&indexes) {
+        for (codes, libpq) in partitions.iter().zip(&libpqs) {
             let q = fx.queries(1);
             let tables = fx.tables(&q);
-            let (_, ms) = time_ms(|| scan_libpq(&tables, codes, topk));
+            let (_, ms) = time_ms(|| libpq.scan(&tables, &ScanParams::new(topk)).unwrap());
             libpq_speeds.push(mvecs_per_sec(codes.len(), ms));
         }
         let libpq_med = Summary::from_values(&libpq_speeds).median();
@@ -57,13 +69,13 @@ fn main() {
             let params = ScanParams::new(topk).with_keep(keep);
             let mut pruned = Vec::new();
             let mut speeds = Vec::new();
-            for index in &indexes {
+            for (codes, index) in partitions.iter().zip(&indexes) {
                 for _ in 0..queries_per_partition {
                     let q = fx.queries(1);
                     let tables = fx.tables(&q);
                     let (r, ms) = time_ms(|| index.scan(&tables, &params).unwrap());
                     pruned.push(100.0 * r.stats.pruned_fraction());
-                    speeds.push(mvecs_per_sec(index.len(), ms));
+                    speeds.push(mvecs_per_sec(codes.len(), ms));
                 }
             }
             let p = Summary::from_values(&pruned);

@@ -12,7 +12,8 @@
 use pqfs_bench::{env_usize, header, scaled_partition_sizes, Fixture};
 use pqfs_core::RowMajorCodes;
 use pqfs_metrics::{fmt_f, Summary, TextTable};
-use pqfs_scan::{scan_quantize_only, FastScanIndex, FastScanOptions, ScanParams, DEFAULT_BINS};
+use pqfs_scan::{Backend, PreparedScanner, ScanOpts, ScanParams};
+use std::sync::Arc;
 
 fn main() {
     let sizes = scaled_partition_sizes();
@@ -24,11 +25,22 @@ fn main() {
     );
 
     let mut fx = Fixture::train(17);
-    let partitions: Vec<RowMajorCodes> = sizes.iter().map(|&n| fx.partition(n)).collect();
-    let indexes: Vec<FastScanIndex> = partitions
-        .iter()
-        .map(|codes| FastScanIndex::build(codes, &FastScanOptions::default()).expect("index"))
-        .collect();
+    let opts = ScanOpts::default();
+    let partitions: Vec<Arc<RowMajorCodes>> =
+        sizes.iter().map(|&n| Arc::new(fx.partition(n))).collect();
+    let prepare = |backend: Backend| -> Vec<Box<dyn PreparedScanner>> {
+        partitions
+            .iter()
+            .map(|codes| {
+                backend
+                    .scanner(&opts)
+                    .prepare(Arc::clone(codes))
+                    .expect("prepare")
+            })
+            .collect()
+    };
+    let quant_only = prepare(Backend::QuantizeOnly);
+    let indexes = prepare(Backend::FastScan);
 
     let keeps = [0.0001, 0.001, 0.005, 0.01, 0.05, 0.1];
     let mut t = TextTable::new(vec![
@@ -40,16 +52,16 @@ fn main() {
 
     for topk in [100usize, 1000] {
         for keep in keeps {
+            let params = ScanParams::new(topk).with_keep(keep);
             let mut qo = Vec::new();
             let mut full = Vec::new();
-            for (codes, index) in partitions.iter().zip(&indexes) {
+            for (qonly, index) in quant_only.iter().zip(&indexes) {
                 for _ in 0..queries_per_partition {
                     let q = fx.queries(1);
                     let tables = fx.tables(&q);
-                    let r = scan_quantize_only(&tables, codes, topk, keep, DEFAULT_BINS);
+                    let r = qonly.scan(&tables, &params).unwrap();
                     qo.push(100.0 * r.stats.pruned_fraction());
-                    let r =
-                        index.scan(&tables, &ScanParams::new(topk).with_keep(keep)).unwrap();
+                    let r = index.scan(&tables, &params).unwrap();
                     full.push(100.0 * r.stats.pruned_fraction());
                 }
             }

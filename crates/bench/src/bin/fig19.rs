@@ -14,12 +14,21 @@
 use pqfs_bench::{env_usize, header, scaled_partition_sizes, Fixture};
 use pqfs_core::RowMajorCodes;
 use pqfs_metrics::{fmt_count, fmt_f, mvecs_per_sec, time_ms, Summary, TextTable};
-use pqfs_scan::{scan_libpq, FastScanIndex, FastScanOptions, ScanParams};
+use pqfs_scan::{Backend, FastScanIndex, FastScanOptions, PreparedScanner, ScanOpts, ScanParams};
+use std::sync::Arc;
+
+fn libpq_scanner(codes: &Arc<RowMajorCodes>) -> Box<dyn PreparedScanner> {
+    Backend::Libpq
+        .scanner(&ScanOpts::default())
+        .prepare(Arc::clone(codes))
+        .expect("prepare")
+}
 
 fn measure(
     fx: &mut Fixture,
     codes: &RowMajorCodes,
     index: &FastScanIndex,
+    libpq: &dyn PreparedScanner,
     queries: usize,
 ) -> (f64, f64, f64) {
     let params = ScanParams::new(100).with_keep(0.005);
@@ -32,7 +41,7 @@ fn measure(
         let (r, ms) = time_ms(|| index.scan(&tables, &params).unwrap());
         pruned.push(100.0 * r.stats.pruned_fraction());
         fast.push(mvecs_per_sec(index.len(), ms));
-        let (_, ms) = time_ms(|| scan_libpq(&tables, codes, 100));
+        let (_, ms) = time_ms(|| libpq.scan(&tables, &params).unwrap());
         slow.push(mvecs_per_sec(codes.len(), ms));
     }
     (
@@ -63,11 +72,17 @@ fn main() {
         "fastpq [Mv/s]",
         "libpq [Mv/s]",
     ]);
-    let mut stored: Vec<(usize, RowMajorCodes)> = Vec::new();
+    let mut stored: Vec<(usize, Arc<RowMajorCodes>)> = Vec::new();
     for &n in &sizes {
-        let codes = fx.partition(n);
+        let codes = Arc::new(fx.partition(n));
         let index = FastScanIndex::build(&codes, &FastScanOptions::default()).expect("index");
-        let (pruned, fast, slow) = measure(&mut fx, &codes, &index, queries);
+        let (pruned, fast, slow) = measure(
+            &mut fx,
+            &codes,
+            &index,
+            libpq_scanner(&codes).as_ref(),
+            queries,
+        );
         t.row(vec![
             fmt_count(n as u64),
             index.group_components().to_string(),
@@ -105,8 +120,9 @@ fn main() {
             &FastScanOptions::default().with_group_components(c_small),
         )
         .expect("index");
-        let (_, fast_big, _) = measure(&mut fx, codes, &big, queries);
-        let (_, fast_small, _) = measure(&mut fx, codes, &small, queries);
+        let libpq = libpq_scanner(codes);
+        let (_, fast_big, _) = measure(&mut fx, codes, &big, libpq.as_ref(), queries);
+        let (_, fast_small, _) = measure(&mut fx, codes, &small, libpq.as_ref(), queries);
         t2.row(vec![
             fmt_count(*n as u64),
             fmt_f(fast_big, 0),

@@ -11,7 +11,8 @@ use pqfs_bench::{env_usize, header, host_description, scale, Fixture, DIM};
 use pqfs_data::{SyntheticConfig, SyntheticDataset};
 use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
 use pqfs_metrics::{fmt_count, fmt_f, mvecs_per_sec, time_ms, Summary, TextTable};
-use pqfs_scan::{FastScanIndex, FastScanOptions, Kernel, ScanParams};
+use pqfs_scan::{Backend, Kernel, ScanOpts, ScanParams};
+use std::sync::Arc;
 
 fn main() {
     let n_base = (2_000_000.0 * scale()) as usize;
@@ -42,18 +43,28 @@ fn main() {
 
     println!("mean response time (scaled SIFT1B):");
     let mut t = TextTable::new(vec!["backend", "mean [ms]", "median [ms]"]);
-    t.row(vec!["libpq".to_string(), fmt_f(slow.mean(), 2), fmt_f(slow.median(), 2)]);
-    t.row(vec!["fastpq".to_string(), fmt_f(fast.mean(), 2), fmt_f(fast.median(), 2)]);
-    t.row(vec!["speedup".to_string(), fmt_f(slow.mean() / fast.mean(), 1), String::new()]);
+    t.row(vec![
+        "libpq".to_string(),
+        fmt_f(slow.mean(), 2),
+        fmt_f(slow.median(), 2),
+    ]);
+    t.row(vec![
+        "fastpq".to_string(),
+        fmt_f(fast.mean(), 2),
+        fmt_f(fast.median(), 2),
+    ]);
+    t.row(vec![
+        "speedup".to_string(),
+        fmt_f(slow.mean() / fast.mean(), 1),
+        String::new(),
+    ]);
     println!("{t}");
 
     let row_bytes = index.code_memory_bytes(SearchBackend::Libpq);
     let packed_bytes = index.code_memory_bytes(SearchBackend::FastScan);
     println!("memory use (codes):");
     let mut m = TextTable::new(vec!["layout", "bytes", "GiB-equivalent at 1B vectors"]);
-    let gib_at_1b = |bytes: usize| {
-        bytes as f64 / n_base as f64 * 1e9 / (1u64 << 30) as f64
-    };
+    let gib_at_1b = |bytes: usize| bytes as f64 / n_base as f64 * 1e9 / (1u64 << 30) as f64;
     m.row(vec![
         "libpq (row-major)".to_string(),
         fmt_count(row_bytes as u64),
@@ -69,27 +80,36 @@ fn main() {
     // ---- Scan speed across kernel back-ends (platform substitute). -----
     println!("scan speed by kernel back-end on {} :", host_description());
     let mut fx = Fixture::train(20);
-    let codes = fx.partition((1_000_000.0 * scale()) as usize);
+    let codes = Arc::new(fx.partition((1_000_000.0 * scale()) as usize));
     let mut k = TextTable::new(vec!["backend", "speed [M vecs/s]", "vs libpq"]);
     let q = fx.queries(5);
+    let params = ScanParams::new(100).with_keep(0.005);
 
     // libpq reference.
+    let libpq = Backend::Libpq
+        .scanner(&ScanOpts::default())
+        .prepare(Arc::clone(&codes))
+        .expect("prepare");
     let mut libpq_speeds = Vec::new();
     for q in q.chunks_exact(DIM) {
         let tables = fx.tables(q);
-        let (_, ms) = time_ms(|| pqfs_scan::scan_libpq(&tables, &codes, 100));
+        let (_, ms) = time_ms(|| libpq.scan(&tables, &params).unwrap());
         libpq_speeds.push(mvecs_per_sec(codes.len(), ms));
     }
     let libpq_speed = Summary::from_values(&libpq_speeds).median();
-    k.row(vec!["libpq (scalar)".to_string(), fmt_f(libpq_speed, 0), "1.0x".to_string()]);
+    k.row(vec![
+        "libpq (scalar)".to_string(),
+        fmt_f(libpq_speed, 0),
+        "1.0x".to_string(),
+    ]);
 
     for (name, kernel) in [
         ("fastpq portable", Kernel::Portable),
         ("fastpq ssse3", Kernel::Ssse3),
         ("fastpq avx2", Kernel::Avx2),
     ] {
-        let opts = FastScanOptions::default().with_kernel(kernel);
-        let index = match FastScanIndex::build(&codes, &opts) {
+        let opts = ScanOpts::default().with_kernel(kernel);
+        let index = match Backend::FastScan.scanner(&opts).prepare(Arc::clone(&codes)) {
             Ok(i) => i,
             Err(_) => continue,
         };
@@ -97,7 +117,7 @@ fn main() {
         let mut ok = true;
         for q in q.chunks_exact(DIM) {
             let tables = fx.tables(q);
-            match time_ms(|| index.scan(&tables, &ScanParams::new(100).with_keep(0.005))) {
+            match time_ms(|| index.scan(&tables, &params)) {
                 (Ok(_), ms) => speeds.push(mvecs_per_sec(codes.len(), ms)),
                 (Err(_), _) => {
                     ok = false;
@@ -113,7 +133,11 @@ fn main() {
                 format!("{:.1}x", s / libpq_speed),
             ]);
         } else {
-            k.row(vec![name.to_string(), "unavailable".to_string(), String::new()]);
+            k.row(vec![
+                name.to_string(),
+                "unavailable".to_string(),
+                String::new(),
+            ]);
         }
     }
     println!("{k}");

@@ -10,26 +10,34 @@
 //! ```
 
 use pqfs_bench::{env_usize, header, scale, Fixture, DIM};
-use pqfs_core::TransposedCodes;
 use pqfs_metrics::{fmt_f, measure_ms, mvecs_per_sec, pqscan_ops, PqScanImpl, Summary, TextTable};
-use pqfs_scan::{scan_avx, scan_gather, scan_libpq, scan_naive};
+use pqfs_scan::{Backend, ScanOpts, ScanParams};
+use std::sync::Arc;
 
 fn main() {
     let n = (1_000_000.0 * scale()) as usize;
     let n_queries = env_usize("PQFS_QUERIES", 8);
     let topk = 100;
-    header("fig3", "Figure 3, §3", &format!("partition {n}, topk {topk}, {n_queries} queries"));
+    header(
+        "fig3",
+        "Figure 3, §3",
+        &format!("partition {n}, topk {topk}, {n_queries} queries"),
+    );
 
     let mut fx = Fixture::train(3);
-    let codes = fx.partition(n);
-    let transposed = TransposedCodes::from_row_major(&codes);
+    let codes = Arc::new(fx.partition(n));
     let queries = fx.queries(n_queries);
+    let opts = ScanOpts::default();
+    let params = ScanParams::new(topk);
 
-    let impls: [(&str, PqScanImpl); 4] = [
-        ("naive", PqScanImpl::Naive),
-        ("libpq", PqScanImpl::Libpq),
-        ("avx", PqScanImpl::Avx),
-        ("gather", PqScanImpl::Gather),
+    // The four PQ Scan baselines, resolved through the backend registry
+    // (each prepares its native layout once), paired with the
+    // operation-count model's view of the same implementation.
+    let impls: [(Backend, PqScanImpl); 4] = [
+        (Backend::Naive, PqScanImpl::Naive),
+        (Backend::Libpq, PqScanImpl::Libpq),
+        (Backend::Avx, PqScanImpl::Avx),
+        (Backend::Gather, PqScanImpl::Gather),
     ];
 
     let mut t = TextTable::new(vec![
@@ -41,22 +49,21 @@ fn main() {
         "uops/vec",
     ]);
 
-    for (name, imp) in impls {
+    for (backend, imp) in impls {
+        let scanner = backend
+            .scanner(&opts)
+            .prepare(Arc::clone(&codes))
+            .expect("prepare");
         let mut times = Vec::new();
         for q in queries.chunks_exact(DIM) {
             let tables = fx.tables(q);
-            let reps = measure_ms(3, || match imp {
-                PqScanImpl::Naive => scan_naive(&tables, &codes, topk),
-                PqScanImpl::Libpq => scan_libpq(&tables, &codes, topk),
-                PqScanImpl::Avx => scan_avx(&tables, &transposed, topk),
-                PqScanImpl::Gather => scan_gather(&tables, &transposed, topk),
-            });
+            let reps = measure_ms(3, || scanner.scan(&tables, &params).expect("scan"));
             times.push(Summary::from_values(&reps).median());
         }
         let median = Summary::from_values(&times).median();
         let ops = pqscan_ops(imp, 8);
         t.row(vec![
-            name.to_string(),
+            backend.to_string(),
             fmt_f(median, 2),
             fmt_f(mvecs_per_sec(n, median), 0),
             fmt_f(ops.l1_loads, 1),

@@ -4,20 +4,31 @@
 
 use pqfs_bench::{env_usize, Fixture};
 use pqfs_metrics::{measure_ms, mvecs_per_sec, Summary};
-use pqfs_scan::{scan_libpq, scan_naive, FastScanIndex, FastScanOptions, ScanParams};
+use pqfs_scan::{Backend, FastScanIndex, FastScanOptions, ScanOpts, ScanParams};
+use std::sync::Arc;
 
 fn main() {
     let n = env_usize("PQFS_N", 1_000_000);
     let mut fx = Fixture::train(7);
-    let codes = fx.partition(n);
+    let codes = Arc::new(fx.partition(n));
     let index = FastScanIndex::build(&codes, &FastScanOptions::default()).unwrap();
     let q = fx.queries(1);
     let tables = fx.tables(&q);
 
-    println!("n = {n}, c = {}, groups = {}", index.group_components(), index.num_groups());
+    println!(
+        "n = {n}, c = {}, groups = {}",
+        index.group_components(),
+        index.num_groups()
+    );
 
-    let naive_ms = Summary::from_values(&measure_ms(5, || scan_naive(&tables, &codes, 100))).median();
-    let libpq_ms = Summary::from_values(&measure_ms(5, || scan_libpq(&tables, &codes, 100))).median();
+    let opts = ScanOpts::default();
+    let baseline = |backend: Backend| {
+        let scanner = backend.scanner(&opts).prepare(Arc::clone(&codes)).unwrap();
+        let params = ScanParams::new(100);
+        Summary::from_values(&measure_ms(5, || scanner.scan(&tables, &params).unwrap())).median()
+    };
+    let naive_ms = baseline(Backend::Naive);
+    let libpq_ms = baseline(Backend::Libpq);
     println!(
         "naive: {naive_ms:.2} ms ({:.0} Mv/s) | libpq: {libpq_ms:.2} ms ({:.0} Mv/s)",
         mvecs_per_sec(n, naive_ms),
@@ -27,8 +38,8 @@ fn main() {
     for topk in [1usize, 10, 100, 1000] {
         let params = ScanParams::new(topk).with_keep(0.005);
         let r = index.scan(&tables, &params).unwrap();
-        let ms = Summary::from_values(&measure_ms(5, || index.scan(&tables, &params).unwrap()))
-            .median();
+        let ms =
+            Summary::from_values(&measure_ms(5, || index.scan(&tables, &params).unwrap())).median();
         println!(
             "fastscan topk={topk:<5} {ms:.3} ms ({:.0} Mv/s)  pruned {:.2}%  verified {}  speedup vs libpq {:.1}x",
             mvecs_per_sec(n, ms),

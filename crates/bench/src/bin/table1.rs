@@ -10,7 +10,11 @@ use pqfs_core::PqConfig;
 use pqfs_metrics::{table_cache_level, CacheLevel, TextTable};
 
 fn main() {
-    header("table1", "Table 1, §3.1", "static cost model + PQ table sizes");
+    header(
+        "table1",
+        "Table 1, §3.1",
+        "static cost model + PQ table sizes",
+    );
 
     let configs = [
         PqConfig::pq16x4(128),

@@ -6,21 +6,35 @@
 //! ```
 
 use pqfs_bench::{env_usize, header, Fixture};
-use pqfs_core::TransposedCodes;
 use pqfs_metrics::{measure_ms, Summary, TextTable, GATHER, PSHUFB};
-use pqfs_scan::{scan_gather, FastScanIndex, FastScanOptions, ScanParams};
+use pqfs_scan::{Backend, ScanOpts, ScanParams};
+use std::sync::Arc;
 
 fn main() {
-    header("table2", "Table 2, §3.2/§4", "instruction model + host microbenchmark");
+    header(
+        "table2",
+        "Table 2, §3.2/§4",
+        "instruction model + host microbenchmark",
+    );
 
-    let mut t = TextTable::new(vec!["Inst.", "Lat.", "Through.", "uops", "# elem", "elem size"]);
+    let mut t = TextTable::new(vec![
+        "Inst.",
+        "Lat.",
+        "Through.",
+        "uops",
+        "# elem",
+        "elem size",
+    ]);
     for props in [GATHER, PSHUFB] {
         t.row(vec![
             props.name.to_string(),
             props.latency.to_string(),
             format!("{}", props.throughput),
             props.uops.to_string(),
-            props.elements.map(|e| e.to_string()).unwrap_or_else(|| "no limit".into()),
+            props
+                .elements
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "no limit".into()),
             format!("{} bits", props.elem_bits),
         ]);
     }
@@ -33,19 +47,27 @@ fn main() {
     println!("microbenchmark: {n} vectors, {reps} queries\n");
 
     let mut fx = Fixture::train(2);
-    let codes = fx.partition(n);
-    let transposed = TransposedCodes::from_row_major(&codes);
-    let index = FastScanIndex::build(&codes, &FastScanOptions::default()).expect("index");
+    let codes = Arc::new(fx.partition(n));
+    let opts = ScanOpts::default();
+    let gather = Backend::Gather
+        .scanner(&opts)
+        .prepare(Arc::clone(&codes))
+        .expect("prepare");
+    let index = Backend::FastScan
+        .scanner(&opts)
+        .prepare(Arc::clone(&codes))
+        .expect("prepare");
     let queries = fx.queries(reps);
+    let params = ScanParams::new(100);
 
     let mut gather_ns = Vec::new();
     let mut pshufb_ns = Vec::new();
     for q in queries.chunks_exact(pqfs_bench::DIM) {
         let tables = fx.tables(q);
-        let g = measure_ms(3, || scan_gather(&tables, &transposed, 100));
+        let g = measure_ms(3, || gather.scan(&tables, &params).unwrap());
         // gather performs m=8 lookups per vector.
         gather_ns.push(Summary::from_values(&g).median() * 1e6 / (n as f64 * 8.0));
-        let f = measure_ms(3, || index.scan(&tables, &ScanParams::new(100)).unwrap());
+        let f = measure_ms(3, || index.scan(&tables, &params).unwrap());
         // fast scan performs 8 in-register lookups per vector.
         pshufb_ns.push(Summary::from_values(&f).median() * 1e6 / (n as f64 * 8.0));
     }

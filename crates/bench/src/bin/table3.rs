@@ -11,13 +11,17 @@
 
 use pqfs_bench::{env_usize, header, scale, DIM, TABLE3_QUERIES, TABLE3_SIZES_M};
 use pqfs_data::{SyntheticConfig, SyntheticDataset};
-use pqfs_ivf::{IvfadcConfig, IvfadcIndex};
+use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
 use pqfs_metrics::{fmt_count, TextTable};
 
 fn main() {
     let n_base = (2_000_000.0 * scale()) as usize;
     let n_queries = env_usize("PQFS_QUERIES", 10_000);
-    header("table3", "Table 3, §5.1", &format!("base {n_base}, 8 partitions, {n_queries} queries"));
+    header(
+        "table3",
+        "Table 3, §5.1",
+        &format!("base {n_base}, 8 partitions, {n_queries} queries"),
+    );
 
     let mut dataset = SyntheticDataset::new(&SyntheticConfig::sift_like().with_seed(333));
     let train = dataset.sample(15_000);
@@ -25,10 +29,10 @@ fn main() {
     let queries = dataset.sample(n_queries);
 
     let mut config = IvfadcConfig::new(DIM, 8).with_seed(33);
-    config.fastscan = None; // only the structure matters here
+    config.backends = vec![SearchBackend::Naive]; // only the structure matters here
     let index = IvfadcIndex::build(&train, &base, &config).expect("build");
 
-    let mut routed = vec![0usize; 8];
+    let mut routed = [0usize; 8];
     for q in queries.chunks_exact(DIM) {
         routed[index.select_partition(q)] += 1;
     }
@@ -41,7 +45,11 @@ fn main() {
 
     let mut t = TextTable::new(vec!["Partition", "# vectors", "# queries"]);
     for (rank, &p) in order.iter().enumerate() {
-        t.row(vec![rank.to_string(), fmt_count(sizes[p] as u64), fmt_count(routed[p] as u64)]);
+        t.row(vec![
+            rank.to_string(),
+            fmt_count(sizes[p] as u64),
+            fmt_count(routed[p] as u64),
+        ]);
     }
     println!("{t}");
 

@@ -26,12 +26,18 @@ pub const TABLE3_QUERIES: [usize; 8] = [2595, 307, 1184, 1032, 1139, 1036, 390, 
 
 /// Reads a float environment variable.
 pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Reads an integer environment variable.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The global workload scale (`PQFS_SCALE`).
@@ -64,7 +70,8 @@ impl Fixture {
         let train = dataset.sample(12_000);
         let mut pq =
             ProductQuantizer::train(&train, &PqConfig::pq8x8(DIM), seed ^ 0xABCD).expect("train");
-        pq.optimize_assignment(16, seed ^ 0x1234).expect("optimize assignment");
+        pq.optimize_assignment(16, seed ^ 0x1234)
+            .expect("optimize assignment");
         Fixture { pq, dataset }
     }
 
@@ -81,8 +88,12 @@ impl Fixture {
     /// Encodes a fresh partition of `n` vectors (parallel across cores).
     pub fn partition(&mut self, n: usize) -> RowMajorCodes {
         let base = self.dataset.sample(n);
-        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-        self.pq.encode_batch_parallel(&base, threads).expect("encode")
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        self.pq
+            .encode_batch_parallel(&base, threads)
+            .expect("encode")
     }
 
     /// Draws `count` fresh queries (row-major).

@@ -20,7 +20,9 @@ impl Args {
             if key.is_empty() {
                 return Err("empty flag name".into());
             }
-            let value = raw.next().ok_or_else(|| format!("--{key} is missing its value"))?;
+            let value = raw
+                .next()
+                .ok_or_else(|| format!("--{key} is missing its value"))?;
             if values.insert(key.to_string(), value).is_some() {
                 return Err(format!("--{key} given twice"));
             }
@@ -35,14 +37,18 @@ impl Args {
 
     /// The value of a mandatory flag.
     pub fn require(&self, key: &str) -> Result<String, String> {
-        self.get(key).cloned().ok_or_else(|| format!("--{key} is required"))
+        self.get(key)
+            .cloned()
+            .ok_or_else(|| format!("--{key} is required"))
     }
 
     /// An optional `usize` flag with a default.
     pub fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
         }
     }
 
@@ -50,7 +56,9 @@ impl Args {
     pub fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
         }
     }
 
@@ -58,7 +66,9 @@ impl Args {
     pub fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
         }
     }
 }

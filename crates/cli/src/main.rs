@@ -3,11 +3,14 @@
 //! ```text
 //! pqfs gen     --out base.fvecs --n 100000 [--dim 128] [--seed 0]
 //! pqfs build   --base base.fvecs --out index.pqiv [--train train.fvecs]
-//!              [--partitions 8] [--seed 0]
+//!              [--partitions 8] [--seed 0] [--backends naive,libpq,fastscan]
 //! pqfs info    --index index.pqiv
 //! pqfs query   --index index.pqiv --queries q.fvecs [--topk 100]
-//!              [--backend fastscan|naive|libpq] [--keep 0.005] [--nprobe 1]
+//!              [--backend <name>] [--keep 0.005] [--nprobe 1]
 //! ```
+//!
+//! `--backend` accepts any name from the scan registry (`pqfs query` run
+//! with an unknown name lists them).
 //!
 //! Vector files use the TEXMEX `.fvecs` format (ANN_SIFT1B's float format),
 //! so the real corpus drops in directly.
@@ -21,15 +24,16 @@ mod args;
 use args::Args;
 
 fn main() -> ExitCode {
+    let usage = usage();
     let mut raw = std::env::args().skip(1);
     let Some(command) = raw.next() else {
-        eprintln!("{USAGE}");
+        eprintln!("{usage}");
         return ExitCode::FAILURE;
     };
     let args = match Args::parse(raw) {
         Ok(args) => args,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}\n\n{usage}");
             return ExitCode::FAILURE;
         }
     };
@@ -39,7 +43,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "query" => cmd_query(&args),
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            println!("{usage}");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
@@ -53,15 +57,25 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "pqfs — product-quantization fast scan toolbox
+/// The usage text, with the backend list pulled from the scan registry so
+/// new kernels show up here automatically.
+fn usage() -> String {
+    format!(
+        "pqfs — product-quantization fast scan toolbox
 
 USAGE:
   pqfs gen    --out <file.fvecs> --n <count> [--dim 128] [--seed 0]
   pqfs build  --base <file.fvecs> --out <index.pqiv>
               [--train <file.fvecs>] [--partitions 8] [--seed 0]
+              [--backends <name,name,...>]
   pqfs info   --index <index.pqiv>
   pqfs query  --index <index.pqiv> --queries <file.fvecs> [--topk 100]
-              [--backend fastscan|naive|libpq] [--keep 0.005] [--nprobe 1]";
+              [--backend <name>] [--keep 0.005] [--nprobe 1]
+
+BACKENDS: {}",
+        SearchBackend::names()
+    )
+}
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let out = args.require("out")?;
@@ -74,7 +88,10 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     let cfg = SyntheticConfig::sift_like().with_dim(dim).with_seed(seed);
     let data = SyntheticDataset::new(&cfg).sample(n);
     write_fvecs(&out, &data, dim).map_err(|e| e.to_string())?;
-    println!("wrote {} vectors of dim {dim} to {out}", fmt_count(n as u64));
+    println!(
+        "wrote {} vectors of dim {dim} to {out}",
+        fmt_count(n as u64)
+    );
     Ok(())
 }
 
@@ -90,7 +107,9 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     }
     let dim = base.dim;
     if dim % 8 != 0 {
-        return Err(format!("dim {dim} is not a multiple of 8 (PQ 8x8 requires it)"));
+        return Err(format!(
+            "dim {dim} is not a multiple of 8 (PQ 8x8 requires it)"
+        ));
     }
 
     // Training set: explicit file, or a sample of the base.
@@ -117,7 +136,18 @@ fn cmd_build(args: &Args) -> Result<(), String> {
         "building: {} base vectors, dim {dim}, {partitions} partitions",
         fmt_count(base.len() as u64)
     );
-    let config = IvfadcConfig::new(dim, partitions).with_seed(seed);
+    let mut config = IvfadcConfig::new(dim, partitions).with_seed(seed);
+    if let Some(spec) = args.get("backends") {
+        let backends: Vec<SearchBackend> = spec
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse())
+            .collect::<Result<_, _>>()?;
+        if backends.is_empty() {
+            return Err("--backends must name at least one backend".into());
+        }
+        config = config.with_backends(backends);
+    }
     let (index, ms) = time_ms(|| IvfadcIndex::build(&train, &base.data, &config));
     let index = index.map_err(|e| e.to_string())?;
     println!("built in {:.1} s", ms / 1e3);
@@ -138,10 +168,17 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!(
         "  sizes       : min {} / avg {} / max {}",
         sizes.iter().min().unwrap_or(&0),
-        if sizes.is_empty() { 0 } else { sizes.iter().sum::<usize>() / sizes.len() },
+        if sizes.is_empty() {
+            0
+        } else {
+            sizes.iter().sum::<usize>() / sizes.len()
+        },
         sizes.iter().max().unwrap_or(&0)
     );
-    println!("  fast scan   : {}", if index.has_fastscan() { "yes" } else { "no" });
+    println!(
+        "  fast scan   : {}",
+        if index.has_fastscan() { "yes" } else { "no" }
+    );
     println!(
         "  code memory : {} bytes (row-major) / {} bytes (grouped)",
         fmt_count(index.code_memory_bytes(SearchBackend::Naive) as u64),
@@ -156,12 +193,13 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let topk = args.usize("topk", 100)?;
     let keep = args.f64("keep", 0.005)?;
     let nprobe = args.usize("nprobe", 1)?;
-    let backend = match args.get("backend").map(String::as_str).unwrap_or("fastscan") {
-        "fastscan" => SearchBackend::FastScan,
-        "naive" => SearchBackend::Naive,
-        "libpq" => SearchBackend::Libpq,
-        other => return Err(format!("unknown backend '{other}'")),
-    };
+    // Backend names come straight from the scan registry: every kernel the
+    // workspace knows is selectable here with no CLI changes.
+    let backend: SearchBackend = args
+        .get("backend")
+        .map(String::as_str)
+        .unwrap_or("fastscan")
+        .parse()?;
 
     let index = IvfadcIndex::load_file(&index_path).map_err(|e| e.to_string())?;
     let queries = read_fvecs(&query_path).map_err(|e| e.to_string())?;

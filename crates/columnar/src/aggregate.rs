@@ -29,7 +29,10 @@ pub struct ApproxAggregate {
 /// the mean table adds at most half a quantization step.
 pub fn approximate_mean(column: &CompressedColumn) -> ApproxAggregate {
     if column.is_empty() {
-        return ApproxAggregate { value: 0.0, error_bound: 0.0 };
+        return ApproxAggregate {
+            value: 0.0,
+            error_bound: 0.0,
+        };
     }
     let dict = column.dict();
     let means = dict.portion_means();
@@ -60,12 +63,15 @@ pub fn approximate_mean(column: &CompressedColumn) -> ApproxAggregate {
 pub fn approximate_sum(column: &CompressedColumn) -> ApproxAggregate {
     let mean = approximate_mean(column);
     let n = column.len() as f32;
-    ApproxAggregate { value: mean.value * n, error_bound: mean.error_bound * n }
+    ApproxAggregate {
+        value: mean.value * n,
+        error_bound: mean.error_bound * n,
+    }
 }
 
 /// Sums `qmeans[code >> 4]` over all codes (dispatches to SSSE3).
 fn sum_quantized(codes: &[u8], qmeans: &[u8; PORTION]) -> u64 {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     {
         if std::arch::is_x86_feature_detected!("ssse3") {
             // SAFETY: feature detected.
@@ -76,10 +82,13 @@ fn sum_quantized(codes: &[u8], qmeans: &[u8; PORTION]) -> u64 {
 }
 
 fn sum_quantized_portable(codes: &[u8], qmeans: &[u8; PORTION]) -> u64 {
-    codes.iter().map(|&c| qmeans[(c >> 4) as usize] as u64).sum()
+    codes
+        .iter()
+        .map(|&c| qmeans[(c >> 4) as usize] as u64)
+        .sum()
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", feature = "avx2"))]
 #[target_feature(enable = "ssse3")]
 unsafe fn sum_quantized_ssse3(codes: &[u8], qmeans: &[u8; PORTION]) -> u64 {
     use std::arch::x86_64::*;
@@ -156,7 +165,13 @@ mod tests {
     #[test]
     fn empty_column_yields_zero() {
         let col = CompressedColumn::from_codes(Dictionary::new(vec![1.0]), vec![]);
-        assert_eq!(approximate_mean(&col), ApproxAggregate { value: 0.0, error_bound: 0.0 });
+        assert_eq!(
+            approximate_mean(&col),
+            ApproxAggregate {
+                value: 0.0,
+                error_bound: 0.0
+            }
+        );
     }
 
     #[test]

@@ -79,8 +79,12 @@ impl CompressedColumn {
     /// descending value with ascending-row tie-break. Baseline for the
     /// fast top-k.
     pub fn topk_max_exact(&self, k: usize) -> Vec<(u32, f32)> {
-        let mut all: Vec<(u32, f32)> =
-            self.codes.iter().enumerate().map(|(i, &c)| (i as u32, self.dict.decode(c))).collect();
+        let mut all: Vec<(u32, f32)> = self
+            .codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u32, self.dict.decode(c)))
+            .collect();
         all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
@@ -119,8 +123,7 @@ mod tests {
     fn exact_mean_matches_decoded_average() {
         let data = ramp(1000);
         let col = CompressedColumn::compress(&data, 64);
-        let manual: f64 =
-            (0..1000).map(|i| col.get(i) as f64).sum::<f64>() / 1000.0;
+        let manual: f64 = (0..1000).map(|i| col.get(i) as f64).sum::<f64>() / 1000.0;
         assert!((col.exact_mean() as f64 - manual).abs() < 1e-3);
     }
 

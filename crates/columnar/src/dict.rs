@@ -30,8 +30,14 @@ impl Dictionary {
     /// Panics if `values` is empty, longer than 256, or contains
     /// non-finite entries.
     pub fn new(mut values: Vec<f32>) -> Self {
-        assert!(!values.is_empty() && values.len() <= MAX_DICT, "1..=256 values required");
-        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        assert!(
+            !values.is_empty() && values.len() <= MAX_DICT,
+            "1..=256 values required"
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "values must be finite"
+        );
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         Dictionary { values }
     }

@@ -34,7 +34,10 @@ impl UpQuantizer {
     fn new(min: f32, max: f32) -> Self {
         let span = max - min;
         let inv_delta = if span > 0.0 { 254.0 / span } else { 0.0 };
-        UpQuantizer { bias: min, inv_delta }
+        UpQuantizer {
+            bias: min,
+            inv_delta,
+        }
     }
 
     /// Quantized upper bound of a value (ceil).
@@ -84,7 +87,10 @@ impl Ord for HeapKey {
 
 impl TopMax {
     fn new(k: usize) -> Self {
-        TopMax { heap: std::collections::BinaryHeap::with_capacity(k + 1), k }
+        TopMax {
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+            k,
+        }
     }
 
     fn is_full(&self) -> bool {
@@ -94,7 +100,10 @@ impl TopMax {
     /// Value of the current k-th best (threshold), or `-∞` while filling.
     fn threshold(&self) -> f32 {
         if self.is_full() {
-            self.heap.peek().map(|e| e.0.value).unwrap_or(f32::NEG_INFINITY)
+            self.heap
+                .peek()
+                .map(|e| e.0.value)
+                .unwrap_or(f32::NEG_INFINITY)
         } else {
             f32::NEG_INFINITY
         }
@@ -117,8 +126,11 @@ impl TopMax {
     }
 
     fn into_sorted(self) -> Vec<(u32, f32)> {
-        let mut v: Vec<(u32, f32)> =
-            self.heap.into_iter().map(|e| (e.0.row, e.0.value)).collect();
+        let mut v: Vec<(u32, f32)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.0.row, e.0.value))
+            .collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -130,7 +142,11 @@ pub fn topk_max_fast(column: &CompressedColumn, k: usize) -> TopKResult {
     let dict = column.dict();
     let codes = column.codes();
     if k == 0 || codes.is_empty() {
-        return TopKResult { items: Vec::new(), pruned: 0, verified: 0 };
+        return TopKResult {
+            items: Vec::new(),
+            pruned: 0,
+            verified: 0,
+        };
     }
     let values = dict.values();
     let quant = UpQuantizer::new(values[0], *values.last().expect("non-empty dict"));
@@ -150,7 +166,11 @@ pub fn topk_max_fast(column: &CompressedColumn, k: usize) -> TopKResult {
     let mut process = |row: usize, heap: &mut TopMax, threshold: &mut u8| {
         verified += 1;
         if heap.push(dict.decode(codes[row]), row as u32) {
-            *threshold = if heap.is_full() { quant.down(heap.threshold()) } else { 0 };
+            *threshold = if heap.is_full() {
+                quant.down(heap.threshold())
+            } else {
+                0
+            };
         }
     };
 
@@ -178,14 +198,18 @@ pub fn topk_max_fast(column: &CompressedColumn, k: usize) -> TopKResult {
         }
     }
 
-    TopKResult { items: heap.into_sorted(), pruned, verified }
+    TopKResult {
+        items: heap.into_sorted(),
+        pruned,
+        verified,
+    }
 }
 
 /// Candidate mask of 16 codes: bit set when the quantized upper bound is
 /// `>= threshold` (dispatches to SSSE3 when available).
 #[inline]
 fn block_candidates(chunk: &[u8], qmax: &[u8; PORTION], threshold: u8) -> u16 {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     {
         if std::arch::is_x86_feature_detected!("ssse3") {
             // SAFETY: feature detected; chunk has 16 bytes by construction.
@@ -205,7 +229,7 @@ fn block_candidates_portable(chunk: &[u8], qmax: &[u8; PORTION], threshold: u8) 
     mask
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", feature = "avx2"))]
 #[target_feature(enable = "ssse3")]
 unsafe fn block_candidates_ssse3(chunk: &[u8], qmax: &[u8; PORTION], threshold: u8) -> u16 {
     use std::arch::x86_64::*;
@@ -283,7 +307,7 @@ mod tests {
         assert!(topk_max_fast(&empty, 3).items.is_empty());
     }
 
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     #[test]
     fn simd_and_portable_masks_agree() {
         if !std::arch::is_x86_feature_detected!("ssse3") {

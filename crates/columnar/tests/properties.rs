@@ -1,7 +1,7 @@
 //! Property-based tests of the §6 compressed-column machinery.
 
-use proptest::prelude::*;
 use pqfs_columnar::{approximate_mean, topk_max_fast, CompressedColumn, Dictionary};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = PqError::BadConfig { dim: 130, m: 8, nbits: 8 };
+        let e = PqError::BadConfig {
+            dim: 130,
+            m: 8,
+            nbits: 8,
+        };
         assert!(e.to_string().contains("130"));
         let e = PqError::Training(pqfs_kmeans::KMeansError::EmptyInput);
         assert!(e.to_string().contains("training failed"));

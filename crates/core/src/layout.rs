@@ -152,7 +152,9 @@ impl TransposedCodes {
         assert!(i < self.n);
         let block = i / TRANSPOSED_BLOCK;
         let lane = i % TRANSPOSED_BLOCK;
-        (0..self.m).map(|j| self.component_word(block, j)[lane]).collect()
+        (0..self.m)
+            .map(|j| self.component_word(block, j)[lane])
+            .collect()
     }
 
     /// Bytes of memory used (padding included).

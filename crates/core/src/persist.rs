@@ -142,7 +142,9 @@ pub fn load_pq(r: &mut impl Read) -> Result<ProductQuantizer, PersistError> {
     let mut probe = [0u8; 1];
     match r.read(&mut probe)? {
         0 => Ok(ProductQuantizer::from_codebooks(config, codebooks)),
-        _ => Err(PersistError::Format("trailing bytes after codebooks".into())),
+        _ => Err(PersistError::Format(
+            "trailing bytes after codebooks".into(),
+        )),
     }
 }
 
@@ -169,7 +171,9 @@ mod tests {
     fn trained() -> ProductQuantizer {
         let mut rng = StdRng::seed_from_u64(77);
         let config = PqConfig::new(16, 4, 4).unwrap();
-        let data: Vec<f32> = (0..300 * 16).map(|_| rng.gen_range(0.0f32..255.0)).collect();
+        let data: Vec<f32> = (0..300 * 16)
+            .map(|_| rng.gen_range(0.0f32..255.0))
+            .collect();
         ProductQuantizer::train(&data, &config, 3).unwrap()
     }
 

@@ -35,11 +35,16 @@ impl ProductQuantizer {
     ///   points, NaNs, …). Training needs at least `k* = 2^nbits` vectors.
     pub fn train(data: &[f32], config: &PqConfig, seed: u64) -> Result<Self, PqError> {
         if !config.trainable() {
-            return Err(PqError::Untrainable { nbits: config.nbits() });
+            return Err(PqError::Untrainable {
+                nbits: config.nbits(),
+            });
         }
         let dim = config.dim();
         if data.is_empty() || data.len() % dim != 0 {
-            return Err(PqError::DimMismatch { expected: dim, actual: data.len() });
+            return Err(PqError::DimMismatch {
+                expected: dim,
+                actual: data.len(),
+            });
         }
         let n = data.len() / dim;
         let dsub = config.dsub();
@@ -56,7 +61,10 @@ impl ProductQuantizer {
             let model = kmeans_train(&sub, dsub, &cfg)?;
             codebooks.push(Codebook::new(model.centroids().to_vec(), dsub));
         }
-        Ok(ProductQuantizer { config: *config, codebooks })
+        Ok(ProductQuantizer {
+            config: *config,
+            codebooks,
+        })
     }
 
     /// Builds a quantizer from pre-existing codebooks (deserialization,
@@ -66,7 +74,11 @@ impl ProductQuantizer {
     ///
     /// Panics if the number or shape of codebooks contradicts `config`.
     pub fn from_codebooks(config: PqConfig, codebooks: Vec<Codebook>) -> Self {
-        assert_eq!(codebooks.len(), config.m(), "need one codebook per sub-quantizer");
+        assert_eq!(
+            codebooks.len(),
+            config.m(),
+            "need one codebook per sub-quantizer"
+        );
         for cb in &codebooks {
             assert_eq!(cb.ksub(), config.ksub());
             assert_eq!(cb.dsub(), config.dsub());
@@ -123,7 +135,10 @@ impl ProductQuantizer {
     pub fn encode_batch(&self, data: &[f32]) -> Result<RowMajorCodes, PqError> {
         let dim = self.config.dim();
         if data.len() % dim != 0 {
-            return Err(PqError::DimMismatch { expected: dim, actual: data.len() });
+            return Err(PqError::DimMismatch {
+                expected: dim,
+                actual: data.len(),
+            });
         }
         let n = data.len() / dim;
         let m = self.config.m();
@@ -149,7 +164,10 @@ impl ProductQuantizer {
     ) -> Result<RowMajorCodes, PqError> {
         let dim = self.config.dim();
         if data.len() % dim != 0 {
-            return Err(PqError::DimMismatch { expected: dim, actual: data.len() });
+            return Err(PqError::DimMismatch {
+                expected: dim,
+                actual: data.len(),
+            });
         }
         let n = data.len() / dim;
         let m = self.config.m();
@@ -172,8 +190,9 @@ impl ProductQuantizer {
                 remaining_out = rest_out;
                 remaining_in = rest_in;
                 scope.spawn(move || {
-                    for (v, code) in
-                        in_chunk.chunks_exact(dim).zip(out_chunk.chunks_exact_mut(m))
+                    for (v, code) in in_chunk
+                        .chunks_exact(dim)
+                        .zip(out_chunk.chunks_exact_mut(m))
                     {
                         self.encode_into(v, code);
                     }
@@ -207,7 +226,10 @@ impl ProductQuantizer {
     /// Squared quantization error of one vector, `||x − q_p(x)||²`.
     pub fn quantization_error(&self, v: &[f32]) -> Result<f32, PqError> {
         if v.len() != self.config.dim() {
-            return Err(PqError::DimMismatch { expected: self.config.dim(), actual: v.len() });
+            return Err(PqError::DimMismatch {
+                expected: self.config.dim(),
+                actual: v.len(),
+            });
         }
         let dsub = self.config.dsub();
         let mut err = 0f32;
@@ -290,7 +312,7 @@ mod tests {
             let per_sub = pq.quantization_error(v).unwrap();
             assert!((err - per_sub).abs() <= 1e-3 * err.max(1.0));
             // Reconstruction must beat a random reconstruction by far.
-            assert!(err < l2_sq(v, &vec![0.0; 16]));
+            assert!(err < l2_sq(v, &[0.0; 16]));
         }
     }
 
@@ -351,7 +373,10 @@ mod tests {
         let (pq, _) = small_pq();
         assert_eq!(
             pq.decode(&[0, 1]).unwrap_err(),
-            PqError::CodeLenMismatch { expected: 4, actual: 2 }
+            PqError::CodeLenMismatch {
+                expected: 4,
+                actual: 2
+            }
         );
     }
 
@@ -367,7 +392,10 @@ mod tests {
 
         let after_err = pq.quantization_error(v).unwrap();
         let after_rec = pq.decode(&pq.encode(v)).unwrap();
-        assert_eq!(before_err, after_err, "relabeling must not change the error");
+        assert_eq!(
+            before_err, after_err,
+            "relabeling must not change the error"
+        );
         assert_eq!(before_rec, after_rec, "reconstruction must be identical");
     }
 
@@ -390,11 +418,17 @@ mod tests {
         let (mut pq, _) = small_pq();
         assert_eq!(
             pq.optimize_assignment(0, 0).unwrap_err(),
-            PqError::BadPortioning { ksub: 16, portions: 0 }
+            PqError::BadPortioning {
+                ksub: 16,
+                portions: 0
+            }
         );
         assert_eq!(
             pq.optimize_assignment(3, 0).unwrap_err(),
-            PqError::BadPortioning { ksub: 16, portions: 3 }
+            PqError::BadPortioning {
+                ksub: 16,
+                portions: 3
+            }
         );
     }
 }

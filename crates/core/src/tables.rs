@@ -27,15 +27,20 @@ impl DistanceTables {
     pub fn compute(pq: &ProductQuantizer, query: &[f32]) -> Result<Self, PqError> {
         let dim = pq.config().dim();
         if query.len() != dim {
-            return Err(PqError::DimMismatch { expected: dim, actual: query.len() });
+            return Err(PqError::DimMismatch {
+                expected: dim,
+                actual: query.len(),
+            });
         }
         let m = pq.config().m();
         let ksub = pq.config().ksub();
         let dsub = pq.config().dsub();
         let mut data = vec![0f32; m * ksub];
         for j in 0..m {
-            pq.codebook(j)
-                .distances(&query[j * dsub..(j + 1) * dsub], &mut data[j * ksub..(j + 1) * ksub]);
+            pq.codebook(j).distances(
+                &query[j * dsub..(j + 1) * dsub],
+                &mut data[j * ksub..(j + 1) * ksub],
+            );
         }
         Ok(DistanceTables { data, m, ksub })
     }
@@ -118,7 +123,12 @@ impl DistanceTables {
     /// distance tables" gives a coarse quantization (§4.4, Figure 12).
     pub fn max_sum(&self) -> f32 {
         (0..self.m)
-            .map(|j| self.table(j).iter().copied().fold(f32::NEG_INFINITY, f32::max))
+            .map(|j| {
+                self.table(j)
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max)
+            })
             .sum()
     }
 }
@@ -134,7 +144,9 @@ mod tests {
     fn fixture() -> (ProductQuantizer, Vec<f32>, Vec<f32>) {
         let mut rng = StdRng::seed_from_u64(21);
         let config = PqConfig::new(16, 4, 4).unwrap();
-        let data: Vec<f32> = (0..300 * 16).map(|_| rng.gen_range(0.0..100.0f32)).collect();
+        let data: Vec<f32> = (0..300 * 16)
+            .map(|_| rng.gen_range(0.0..100.0f32))
+            .collect();
         let pq = ProductQuantizer::train(&data, &config, 9).unwrap();
         let query: Vec<f32> = (0..16).map(|_| rng.gen_range(0.0..100.0f32)).collect();
         (pq, data, query)
@@ -194,7 +206,10 @@ mod tests {
         let (pq, _, _) = fixture();
         assert!(matches!(
             DistanceTables::compute(&pq, &[0.0; 5]),
-            Err(PqError::DimMismatch { expected: 16, actual: 5 })
+            Err(PqError::DimMismatch {
+                expected: 16,
+                actual: 5
+            })
         ));
     }
 

@@ -60,7 +60,10 @@ impl TopK {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "topk must be positive");
-        TopK { heap: BinaryHeap::with_capacity(k + 1), k }
+        TopK {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+        }
     }
 
     /// Capacity `k`.
@@ -89,7 +92,10 @@ impl TopK {
     #[inline]
     pub fn threshold(&self) -> f32 {
         if self.is_full() {
-            self.heap.peek().map(|item| item.0.dist).unwrap_or(f32::INFINITY)
+            self.heap
+                .peek()
+                .map(|item| item.0.dist)
+                .unwrap_or(f32::INFINITY)
         } else {
             f32::INFINITY
         }

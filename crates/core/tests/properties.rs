@@ -1,9 +1,9 @@
 //! Property-based tests of the product-quantization core invariants.
 
-use proptest::prelude::*;
 use pqfs_core::{
     Codebook, DistanceTables, PqConfig, ProductQuantizer, RowMajorCodes, TopK, TransposedCodes,
 };
+use proptest::prelude::*;
 
 /// A small trainable configuration plus matching training data.
 fn pq_fixture(seed: u64, n: usize) -> (ProductQuantizer, Vec<f32>) {

@@ -29,7 +29,10 @@ pub fn exact_knn(base: &[f32], dim: usize, query: &[f32], k: usize) -> Vec<TrueN
     let mut all: Vec<TrueNeighbor> = base
         .chunks_exact(dim)
         .enumerate()
-        .map(|(i, v)| TrueNeighbor { id: i as u32, dist: l2_sq(query, v) })
+        .map(|(i, v)| TrueNeighbor {
+            id: i as u32,
+            dist: l2_sq(query, v),
+        })
         .collect();
     all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     all.truncate(k);
@@ -43,8 +46,14 @@ pub fn exact_knn_batch(
     queries: &[f32],
     k: usize,
 ) -> Vec<Vec<TrueNeighbor>> {
-    assert!(dim > 0 && queries.len() % dim == 0, "queries must be n x dim");
-    queries.chunks_exact(dim).map(|q| exact_knn(base, dim, q, k)).collect()
+    assert!(
+        dim > 0 && queries.len() % dim == 0,
+        "queries must be n x dim"
+    );
+    queries
+        .chunks_exact(dim)
+        .map(|q| exact_knn(base, dim, q, k))
+        .collect()
 }
 
 #[cfg(test)]

@@ -57,11 +57,7 @@ pub struct VectorFile<T> {
 impl<T> VectorFile<T> {
     /// Number of vectors.
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// True when the file held no vectors.
@@ -108,7 +104,10 @@ where
             .map_err(|_| DataError::Format("truncated record".into()))?;
         data.extend(buf.chunks_exact(elem_size).map(&mut decode));
     }
-    Ok(VectorFile { data, dim: dim.unwrap_or(0) })
+    Ok(VectorFile {
+        data,
+        dim: dim.unwrap_or(0),
+    })
 }
 
 fn write_records<T, F>(path: &Path, data: &[T], dim: usize, mut encode: F) -> Result<(), DataError>
@@ -138,12 +137,16 @@ where
 
 /// Reads a `.fvecs` file (32-bit little-endian floats).
 pub fn read_fvecs(path: impl AsRef<Path>) -> Result<VectorFile<f32>, DataError> {
-    read_records(path.as_ref(), 4, |b| f32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+    read_records(path.as_ref(), 4, |b| {
+        f32::from_le_bytes(b.try_into().expect("4-byte chunk"))
+    })
 }
 
 /// Writes a `.fvecs` file.
 pub fn write_fvecs(path: impl AsRef<Path>, data: &[f32], dim: usize) -> Result<(), DataError> {
-    write_records(path.as_ref(), data, dim, |v, buf| buf.extend_from_slice(&v.to_le_bytes()))
+    write_records(path.as_ref(), data, dim, |v, buf| {
+        buf.extend_from_slice(&v.to_le_bytes())
+    })
 }
 
 /// Reads a `.bvecs` file (unsigned bytes, SIFT1B's base format).
@@ -158,12 +161,16 @@ pub fn write_bvecs(path: impl AsRef<Path>, data: &[u8], dim: usize) -> Result<()
 
 /// Reads an `.ivecs` file (32-bit little-endian integers; ground truth ids).
 pub fn read_ivecs(path: impl AsRef<Path>) -> Result<VectorFile<i32>, DataError> {
-    read_records(path.as_ref(), 4, |b| i32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+    read_records(path.as_ref(), 4, |b| {
+        i32::from_le_bytes(b.try_into().expect("4-byte chunk"))
+    })
 }
 
 /// Writes an `.ivecs` file.
 pub fn write_ivecs(path: impl AsRef<Path>, data: &[i32], dim: usize) -> Result<(), DataError> {
-    write_records(path.as_ref(), data, dim, |v, buf| buf.extend_from_slice(&v.to_le_bytes()))
+    write_records(path.as_ref(), data, dim, |v, buf| {
+        buf.extend_from_slice(&v.to_le_bytes())
+    })
 }
 
 #[cfg(test)]
@@ -241,7 +248,10 @@ mod tests {
         bytes.extend_from_slice(&1.0f32.to_le_bytes());
         bytes.extend_from_slice(&2.0f32.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(read_fvecs(&path).unwrap_err(), DataError::Format(_)));
+        assert!(matches!(
+            read_fvecs(&path).unwrap_err(),
+            DataError::Format(_)
+        ));
         std::fs::remove_file(path).ok();
     }
 

@@ -236,7 +236,10 @@ mod tests {
         }
         let avg_nn = total_nn / 50.0;
         // Uniform random in [0,255]^16 would give ~ 16 * (255^2/6) ≈ 173k.
-        assert!(avg_nn < 10_000.0, "avg nearest-neighbor distance {avg_nn} not clustered");
+        assert!(
+            avg_nn < 10_000.0,
+            "avg nearest-neighbor distance {avg_nn} not clustered"
+        );
     }
 
     #[test]
@@ -244,15 +247,22 @@ mod tests {
         // With partial coherence, distances from a point to the rest of the
         // set must spread smoothly: the 10th percentile should sit clearly
         // between the minimum and the median (no bimodal gap).
-        let cfg = SyntheticConfig::sift_like().with_dim(64).with_clusters(16).with_seed(7);
+        let cfg = SyntheticConfig::sift_like()
+            .with_dim(64)
+            .with_clusters(16)
+            .with_seed(7);
         let data = generate(2000, &cfg);
         let q = &data[..64];
-        let mut dists: Vec<f32> =
-            (1..2000).map(|j| d2(q, &data[j * 64..(j + 1) * 64])).collect();
+        let mut dists: Vec<f32> = (1..2000)
+            .map(|j| d2(q, &data[j * 64..(j + 1) * 64]))
+            .collect();
         dists.sort_by(f32::total_cmp);
         let p = |f: f64| dists[((dists.len() - 1) as f64 * f) as usize];
         let (p01, p10, p50) = (p(0.01), p(0.10), p(0.50));
-        assert!(p01 < p10 && p10 < p50, "distances must be spread: {p01} {p10} {p50}");
+        assert!(
+            p01 < p10 && p10 < p50,
+            "distances must be spread: {p01} {p10} {p50}"
+        );
         // Continuum check: p10 is not glued to either end.
         let spread = (p10 - p01) / (p50 - p01);
         assert!(
@@ -263,7 +273,10 @@ mod tests {
 
     #[test]
     fn successive_samples_share_the_distribution() {
-        let cfg = SyntheticConfig::sift_like().with_dim(4).with_clusters(2).with_seed(9);
+        let cfg = SyntheticConfig::sift_like()
+            .with_dim(4)
+            .with_clusters(2)
+            .with_seed(9);
         let mut gen = SyntheticDataset::new(&cfg);
         let a = gen.sample(100);
         let b = gen.sample(100);

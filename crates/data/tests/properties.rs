@@ -1,11 +1,11 @@
 //! Property-based tests of the dataset substrate: file-format roundtrips
 //! and generator invariants.
 
-use proptest::prelude::*;
 use pqfs_data::{
-    exact_knn, generate, read_bvecs, read_fvecs, read_ivecs, write_bvecs, write_fvecs,
-    write_ivecs, SyntheticConfig,
+    exact_knn, generate, read_bvecs, read_fvecs, read_ivecs, write_bvecs, write_fvecs, write_ivecs,
+    SyntheticConfig,
 };
+use proptest::prelude::*;
 
 fn tmp_path(tag: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();

@@ -21,14 +21,13 @@ impl CoarseQuantizer {
     /// # Errors
     ///
     /// [`IvfError::Coarse`] on k-means failures (too few vectors, NaNs, …).
-    pub fn train(
-        data: &[f32],
-        dim: usize,
-        partitions: usize,
-        seed: u64,
-    ) -> Result<Self, IvfError> {
-        let cfg = KMeansConfig::new(partitions).with_seed(seed).with_max_iters(30);
-        Ok(CoarseQuantizer { model: train(data, dim, &cfg)? })
+    pub fn train(data: &[f32], dim: usize, partitions: usize, seed: u64) -> Result<Self, IvfError> {
+        let cfg = KMeansConfig::new(partitions)
+            .with_seed(seed)
+            .with_max_iters(30);
+        Ok(CoarseQuantizer {
+            model: train(data, dim, &cfg)?,
+        })
     }
 
     /// Rebuilds a coarse quantizer from a stored centroid matrix
@@ -38,7 +37,9 @@ impl CoarseQuantizer {
     ///
     /// Panics if the matrix is empty or not a multiple of `dim`.
     pub fn from_centroids(centroids: Vec<f32>, dim: usize) -> Self {
-        CoarseQuantizer { model: KMeans::from_centroids(centroids, dim) }
+        CoarseQuantizer {
+            model: KMeans::from_centroids(centroids, dim),
+        }
     }
 
     /// Number of partitions (Voronoi cells).

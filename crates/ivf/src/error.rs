@@ -25,7 +25,10 @@ impl fmt::Display for IvfError {
         match self {
             IvfError::Config(msg) => write!(f, "invalid IVFADC configuration: {msg}"),
             IvfError::DimMismatch { expected, actual } => {
-                write!(f, "vector has {actual} values, expected dimensionality {expected}")
+                write!(
+                    f,
+                    "vector has {actual} values, expected dimensionality {expected}"
+                )
             }
             IvfError::Coarse(e) => write!(f, "coarse quantizer training failed: {e}"),
             IvfError::Pq(e) => write!(f, "product quantizer failed: {e}"),

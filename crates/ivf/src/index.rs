@@ -4,22 +4,13 @@
 use crate::coarse::CoarseQuantizer;
 use crate::IvfError;
 use pqfs_core::{DistanceTables, Neighbor, PqConfig, ProductQuantizer, RowMajorCodes};
-use pqfs_scan::{
-    scan_libpq, scan_naive, FastScanIndex, FastScanOptions, ScanParams, ScanResult, ScanStats,
-};
+use pqfs_scan::{PreparedScanner, ScanError, ScanOpts, ScanParams, ScanResult, ScanStats};
+use std::sync::Arc;
 
-/// Which scan implementation answers queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SearchBackend {
-    /// Algorithm 1 as written.
-    Naive,
-    /// The libpq word-load variant (§3.1); requires `PQ 8×8`.
-    Libpq,
-    /// PQ Fast Scan (§4); requires `PQ 8×8` and
-    /// [`IvfadcConfig::fastscan`] at build time.
-    #[default]
-    FastScan,
-}
+/// Which scan implementation answers queries: the `pqfs-scan` backend
+/// registry, re-exported. Any [`SearchBackend::ALL`] member listed in
+/// [`IvfadcConfig::backends`] at build time can serve queries.
+pub use pqfs_scan::Backend as SearchBackend;
 
 /// Build configuration.
 #[derive(Debug, Clone)]
@@ -34,22 +25,37 @@ pub struct IvfadcConfig {
     /// Apply the §4.3 optimized centroid-index assignment after PQ
     /// training (required for tight Fast Scan minimum tables).
     pub optimize_assignment: bool,
-    /// Build per-partition Fast Scan indexes (`None` disables the
-    /// [`SearchBackend::FastScan`] backend).
-    pub fastscan: Option<FastScanOptions>,
+    /// Backends prepared per partition at build time (deduplicated;
+    /// backends whose `PQ 8×8` shape requirement the quantizer cannot meet
+    /// are skipped). Queries may use exactly these.
+    pub backends: Vec<SearchBackend>,
+    /// Options handed to [`SearchBackend::scanner`] when preparing
+    /// partitions (quantization bins, grouping, kernel choice).
+    pub scan: ScanOpts,
 }
 
 impl IvfadcConfig {
-    /// The paper's configuration: `PQ 8×8`, optimized assignment, Fast Scan
-    /// enabled.
+    /// The paper's configuration: `PQ 8×8`, optimized assignment, and the
+    /// naive / libpq / Fast Scan backends prepared.
     pub fn new(dim: usize, partitions: usize) -> Self {
         IvfadcConfig {
             partitions,
             pq: PqConfig::pq8x8(dim),
             seed: 0,
             optimize_assignment: true,
-            fastscan: Some(FastScanOptions::default()),
+            backends: Self::default_backends(),
+            scan: ScanOpts::default(),
         }
+    }
+
+    /// The default backend set: the row-major baselines (which share the
+    /// partition's code storage) plus Fast Scan.
+    pub fn default_backends() -> Vec<SearchBackend> {
+        vec![
+            SearchBackend::Naive,
+            SearchBackend::Libpq,
+            SearchBackend::FastScan,
+        ]
     }
 
     /// Replaces the seed.
@@ -57,14 +63,69 @@ impl IvfadcConfig {
         self.seed = seed;
         self
     }
+
+    /// Replaces the prepared backend set.
+    pub fn with_backends(mut self, backends: Vec<SearchBackend>) -> Self {
+        self.backends = backends;
+        self
+    }
+
+    /// Replaces the scanner options.
+    pub fn with_scan_opts(mut self, scan: ScanOpts) -> Self {
+        self.scan = scan;
+        self
+    }
 }
 
-/// One inverted list: the global ids and residual codes of a partition.
+/// One inverted list: the global ids, residual codes, and per-backend
+/// prepared scan state of a partition.
 #[derive(Debug, Clone)]
 struct Partition {
     ids: Vec<u64>,
-    codes: RowMajorCodes,
-    fastscan: Option<FastScanIndex>,
+    codes: Arc<RowMajorCodes>,
+    /// Prepared scan state; each entry self-identifies via
+    /// [`PreparedScanner::backend`], so no separate key is stored.
+    prepared: Vec<Box<dyn PreparedScanner>>,
+}
+
+impl Partition {
+    /// Builds a partition, preparing every requested backend through the
+    /// scan registry. Backends the quantizer shape cannot support are
+    /// skipped; real configuration errors propagate.
+    fn build(
+        ids: Vec<u64>,
+        codes: RowMajorCodes,
+        backends: &[SearchBackend],
+        opts: &ScanOpts,
+    ) -> Result<Self, IvfError> {
+        let codes = Arc::new(codes);
+        let mut prepared: Vec<Box<dyn PreparedScanner>> = Vec::with_capacity(backends.len());
+        for &backend in backends {
+            if prepared.iter().any(|s| s.backend() == backend) {
+                continue;
+            }
+            match backend.scanner(opts).prepare(Arc::clone(&codes)) {
+                Ok(state) => prepared.push(state),
+                // The quantizer is not PQ 8x8: this backend simply stays
+                // unavailable (queries asking for it get a Config error).
+                Err(ScanError::NeedsPq8x8 { .. }) => {}
+                Err(e) => return Err(IvfError::Scan(e)),
+            }
+        }
+        Ok(Partition {
+            ids,
+            codes,
+            prepared,
+        })
+    }
+
+    /// The prepared state for `backend`, if it was built.
+    fn prepared_for(&self, backend: SearchBackend) -> Option<&dyn PreparedScanner> {
+        self.prepared
+            .iter()
+            .find(|s| s.backend() == backend)
+            .map(|s| s.as_ref())
+    }
 }
 
 /// Result of one ANN query.
@@ -86,6 +147,9 @@ pub struct IvfadcIndex {
     pq: ProductQuantizer,
     partitions: Vec<Partition>,
     dim: usize,
+    /// The scanner options the partitions were prepared with (persisted so
+    /// a save/load roundtrip rebuilds identical scan state).
+    scan: ScanOpts,
 }
 
 impl IvfadcIndex {
@@ -102,10 +166,16 @@ impl IvfadcIndex {
             return Err(IvfError::Config("partitions must be positive".into()));
         }
         if train.is_empty() || train.len() % dim != 0 {
-            return Err(IvfError::DimMismatch { expected: dim, actual: train.len() });
+            return Err(IvfError::DimMismatch {
+                expected: dim,
+                actual: train.len(),
+            });
         }
         if base.len() % dim != 0 {
-            return Err(IvfError::DimMismatch { expected: dim, actual: base.len() });
+            return Err(IvfError::DimMismatch {
+                expected: dim,
+                actual: base.len(),
+            });
         }
 
         // Stage 1: coarse quantizer over the raw training vectors.
@@ -140,15 +210,21 @@ impl IvfadcIndex {
                 coarse.residual_into(v, p, &mut residual);
                 pq.encode_into(&residual, &mut codes[slot * m..(slot + 1) * m]);
             }
-            let codes = RowMajorCodes::new(codes, m);
-            let fastscan = match &config.fastscan {
-                Some(opts) if m == 8 => Some(FastScanIndex::build(&codes, opts)?),
-                _ => None,
-            };
-            partitions.push(Partition { ids, codes, fastscan });
+            partitions.push(Partition::build(
+                ids,
+                RowMajorCodes::new(codes, m),
+                &config.backends,
+                &config.scan,
+            )?);
         }
 
-        Ok(IvfadcIndex { coarse, pq, partitions, dim })
+        Ok(IvfadcIndex {
+            coarse,
+            pq,
+            partitions,
+            dim,
+            scan: config.scan.clone(),
+        })
     }
 
     /// Answers an ANN query: selects the most relevant partition (step 1),
@@ -167,14 +243,21 @@ impl IvfadcIndex {
         keep: f64,
     ) -> Result<SearchOutcome, IvfError> {
         if query.len() != self.dim {
-            return Err(IvfError::DimMismatch { expected: self.dim, actual: query.len() });
+            return Err(IvfError::DimMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         if topk == 0 {
             return Err(IvfError::Config("topk must be positive".into()));
         }
         let p = self.coarse.assign(query);
         let (neighbors, stats) = self.scan_partition(query, p, topk, backend, keep)?;
-        Ok(SearchOutcome { neighbors, stats, partition: p })
+        Ok(SearchOutcome {
+            neighbors,
+            stats,
+            partition: p,
+        })
     }
 
     /// Multi-probe search: scans the `nprobe` partitions nearest to the
@@ -198,7 +281,10 @@ impl IvfadcIndex {
         nprobe: usize,
     ) -> Result<SearchOutcome, IvfError> {
         if query.len() != self.dim {
-            return Err(IvfError::DimMismatch { expected: self.dim, actual: query.len() });
+            return Err(IvfError::DimMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         if topk == 0 || nprobe == 0 {
             return Err(IvfError::Config("topk and nprobe must be positive".into()));
@@ -216,7 +302,11 @@ impl IvfadcIndex {
             stats.verified += s.verified;
             stats.warmup += s.warmup;
         }
-        Ok(SearchOutcome { neighbors: merged.into_sorted(), stats, partition: probes[0] })
+        Ok(SearchOutcome {
+            neighbors: merged.into_sorted(),
+            stats,
+            partition: probes[0],
+        })
     }
 
     /// Answers a batch of row-major queries in parallel across `threads`
@@ -236,7 +326,10 @@ impl IvfadcIndex {
         threads: usize,
     ) -> Result<Vec<SearchOutcome>, IvfError> {
         if queries.len() % self.dim != 0 {
-            return Err(IvfError::DimMismatch { expected: self.dim, actual: queries.len() });
+            return Err(IvfError::DimMismatch {
+                expected: self.dim,
+                actual: queries.len(),
+            });
         }
         let n = queries.len() / self.dim;
         let threads = threads.max(1).min(n.max(1));
@@ -290,23 +383,29 @@ impl IvfadcIndex {
         self.coarse.residual_into(query, p, &mut residual);
         let tables = DistanceTables::compute(&self.pq, &residual)?;
 
-        // Step 3: scan.
-        let result: ScanResult = match backend {
-            SearchBackend::Naive => scan_naive(&tables, &partition.codes, topk),
-            SearchBackend::Libpq => scan_libpq(&tables, &partition.codes, topk),
-            SearchBackend::FastScan => {
-                let index = partition.fastscan.as_ref().ok_or_else(|| {
-                    IvfError::Config("index was built without fast-scan support".into())
-                })?;
-                index.scan(&tables, &ScanParams::new(topk).with_keep(keep))?
-            }
-        };
+        // Step 3: scan, through the backend registry — no per-backend
+        // dispatch here; whatever was prepared at build time can serve.
+        let scanner = partition.prepared_for(backend).ok_or_else(|| {
+            IvfError::Config(format!(
+                "backend '{backend}' was not built into this index (available: {})",
+                partition
+                    .prepared
+                    .iter()
+                    .map(|s| s.backend().name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        let result: ScanResult = scanner.scan(&tables, &ScanParams::new(topk).with_keep(keep))?;
 
         // Translate partition positions to global ids.
         let neighbors = result
             .neighbors
             .into_iter()
-            .map(|n| Neighbor { dist: n.dist, id: partition.ids[n.id as usize] })
+            .map(|n| Neighbor {
+                dist: n.dist,
+                id: partition.ids[n.id as usize],
+            })
             .collect();
         Ok((neighbors, result.stats))
     }
@@ -314,18 +413,19 @@ impl IvfadcIndex {
     /// Rebuilds an index from stored parts (used by persistence).
     ///
     /// `partitions` holds `(global ids, row-major code bytes)` per cell;
-    /// Fast Scan sub-indexes are rebuilt when `fastscan` is set and the
-    /// quantizer is `PQ 8×8`.
+    /// the listed `backends` are re-prepared through the scan registry
+    /// (preparation is deterministic and cheap next to decoding the codes).
     ///
     /// # Errors
     ///
     /// [`IvfError::Config`] when shapes disagree, [`IvfError::Scan`] if a
-    /// Fast Scan rebuild fails.
+    /// backend rebuild fails.
     pub(crate) fn from_parts(
         coarse: CoarseQuantizer,
         pq: ProductQuantizer,
         partitions: Vec<(Vec<u64>, Vec<u8>)>,
-        fastscan: bool,
+        backends: &[SearchBackend],
+        opts: ScanOpts,
     ) -> Result<Self, IvfError> {
         if coarse.partitions() != partitions.len() {
             return Err(IvfError::Config(format!(
@@ -344,21 +444,38 @@ impl IvfadcIndex {
             if bytes.len() != ids.len() * m {
                 return Err(IvfError::Config("partition code length mismatch".into()));
             }
-            let codes = RowMajorCodes::new(bytes, m);
-            let fs = if fastscan && m == 8 {
-                Some(FastScanIndex::build(&codes, &FastScanOptions::default())?)
-            } else {
-                None
-            };
-            built.push(Partition { ids, codes, fastscan: fs });
+            built.push(Partition::build(
+                ids,
+                RowMajorCodes::new(bytes, m),
+                backends,
+                &opts,
+            )?);
         }
-        Ok(IvfadcIndex { coarse, pq, partitions: built, dim })
+        Ok(IvfadcIndex {
+            coarse,
+            pq,
+            partitions: built,
+            dim,
+            scan: opts,
+        })
     }
 
-    /// Whether per-partition Fast Scan indexes exist.
+    /// Whether per-partition Fast Scan state exists.
     pub fn has_fastscan(&self) -> bool {
-        self.partitions.iter().all(|p| p.fastscan.is_some() || p.ids.is_empty())
-            && self.partitions.iter().any(|p| p.fastscan.is_some())
+        let with = |p: &Partition| p.prepared_for(SearchBackend::FastScan).is_some();
+        self.partitions.iter().all(|p| with(p) || p.ids.is_empty())
+            && self.partitions.iter().any(with)
+    }
+
+    /// The backends prepared in this index (what [`search`](Self::search)
+    /// accepts), in [`SearchBackend::ALL`] order. Empty partitions count:
+    /// an index over an empty base still reports its configured backends,
+    /// so a save/load roundtrip never produces an unloadable file.
+    pub fn prepared_backends(&self) -> Vec<SearchBackend> {
+        SearchBackend::ALL
+            .into_iter()
+            .filter(|&b| self.partitions.iter().any(|p| p.prepared_for(b).is_some()))
+            .collect()
     }
 
     /// Raw parts of partition `p` (used by persistence).
@@ -390,6 +507,11 @@ impl IvfadcIndex {
         self.len() == 0
     }
 
+    /// The scanner options the index's partitions were prepared with.
+    pub fn scan_opts(&self) -> &ScanOpts {
+        &self.scan
+    }
+
     /// The trained product quantizer.
     pub fn pq(&self) -> &ProductQuantizer {
         &self.pq
@@ -407,17 +529,15 @@ impl IvfadcIndex {
 
     /// Code storage bytes for the given backend (the paper's Figure 20
     /// memory-use comparison: grouped Fast Scan storage is ~25 % smaller
-    /// than row-major codes).
+    /// than row-major codes). Falls back to the row-major footprint when
+    /// the backend was not prepared.
     pub fn code_memory_bytes(&self, backend: SearchBackend) -> usize {
         self.partitions
             .iter()
-            .map(|p| match backend {
-                SearchBackend::FastScan => p
-                    .fastscan
-                    .as_ref()
-                    .map(|f| f.code_memory_bytes())
-                    .unwrap_or_else(|| p.codes.memory_bytes()),
-                _ => p.codes.memory_bytes(),
+            .map(|p| {
+                p.prepared_for(backend)
+                    .map(|s| s.code_memory_bytes())
+                    .unwrap_or_else(|| p.codes.memory_bytes())
             })
             .sum()
     }
@@ -439,7 +559,10 @@ mod tests {
         let mut data = Vec::with_capacity(n * DIM);
         for _ in 0..n {
             let c = &centers[rng.gen_range(0..centers.len())];
-            data.extend(c.iter().map(|&x| (x + rng.gen_range(-10.0f32..10.0)).clamp(0.0, 255.0)));
+            data.extend(
+                c.iter()
+                    .map(|&x| (x + rng.gen_range(-10.0f32..10.0)).clamp(0.0, 255.0)),
+            );
         }
         data
     }
@@ -456,7 +579,10 @@ mod tests {
         let (index, base) = build_index(800);
         assert_eq!(index.len(), 800);
         assert_eq!(index.num_partitions(), 4);
-        assert_eq!(index.partition_sizes().iter().sum::<usize>(), base.len() / DIM);
+        assert_eq!(
+            index.partition_sizes().iter().sum::<usize>(),
+            base.len() / DIM
+        );
     }
 
     #[test]
@@ -468,7 +594,9 @@ mod tests {
             let query = &base[qi * DIM..(qi + 1) * DIM];
             let a = index.search(query, 10, SearchBackend::Naive, 0.01).unwrap();
             let b = index.search(query, 10, SearchBackend::Libpq, 0.01).unwrap();
-            let c = index.search(query, 10, SearchBackend::FastScan, 0.01).unwrap();
+            let c = index
+                .search(query, 10, SearchBackend::FastScan, 0.01)
+                .unwrap();
             let ids = |o: &SearchOutcome| o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>();
             assert_eq!(ids(&a), ids(&b));
             assert_eq!(ids(&a), ids(&c));
@@ -514,7 +642,9 @@ mod tests {
         for qi in (0..800).step_by(40) {
             let query = &base[qi * DIM..(qi + 1) * DIM];
             let single = index.search(query, 10, SearchBackend::Naive, 0.0).unwrap();
-            let multi = index.search_probes(query, 10, SearchBackend::Naive, 0.0, 3).unwrap();
+            let multi = index
+                .search_probes(query, 10, SearchBackend::Naive, 0.0, 3)
+                .unwrap();
             // Multi-probe sees a superset of candidates, so its k-th
             // distance can only be <= the single-probe k-th distance.
             let kth = |o: &SearchOutcome| o.neighbors.last().map(|n| n.dist);
@@ -530,7 +660,10 @@ mod tests {
                 assert!(multi_ids.contains(&n.id) || multi.neighbors.len() == 10);
             }
         }
-        assert!(improved_or_equal, "multi-probe must not worsen the k-th distance");
+        assert!(
+            improved_or_equal,
+            "multi-probe must not worsen the k-th distance"
+        );
     }
 
     #[test]
@@ -538,7 +671,9 @@ mod tests {
         let (index, base) = build_index(400);
         let query = &base[..DIM];
         // Probing every partition = a full (residual-quantized) scan.
-        let all = index.search_probes(query, 5, SearchBackend::Naive, 0.0, 4).unwrap();
+        let all = index
+            .search_probes(query, 5, SearchBackend::Naive, 0.0, 4)
+            .unwrap();
         assert_eq!(all.neighbors.len(), 5);
         assert_eq!(all.stats.scanned, 400);
     }
@@ -547,7 +682,9 @@ mod tests {
     fn search_batch_matches_sequential_search() {
         let (index, base) = build_index(500);
         let queries = &base[..DIM * 20];
-        let batch = index.search_batch(queries, 8, SearchBackend::FastScan, 0.01, 4).unwrap();
+        let batch = index
+            .search_batch(queries, 8, SearchBackend::FastScan, 0.01, 4)
+            .unwrap();
         assert_eq!(batch.len(), 20);
         for (i, q) in queries.chunks_exact(DIM).enumerate() {
             let single = index.search(q, 8, SearchBackend::FastScan, 0.01).unwrap();
@@ -569,7 +706,14 @@ mod tests {
         ));
         let train = clustered(100, 1);
         assert!(matches!(
-            IvfadcIndex::build(&train, &train, &IvfadcConfig { partitions: 0, ..IvfadcConfig::new(DIM, 1) }),
+            IvfadcIndex::build(
+                &train,
+                &train,
+                &IvfadcConfig {
+                    partitions: 0,
+                    ..IvfadcConfig::new(DIM, 1)
+                }
+            ),
             Err(IvfError::Config(_))
         ));
     }
@@ -579,14 +723,16 @@ mod tests {
         let train = clustered(600, 2);
         let base = clustered(200, 3);
         let mut config = IvfadcConfig::new(DIM, 2);
-        config.fastscan = None;
+        config.backends = vec![SearchBackend::Naive, SearchBackend::Libpq];
         let index = IvfadcIndex::build(&train, &base, &config).unwrap();
         assert!(matches!(
             index.search(&base[..DIM], 5, SearchBackend::FastScan, 0.01),
             Err(IvfError::Config(_))
         ));
         // The other backends still work.
-        assert!(index.search(&base[..DIM], 5, SearchBackend::Naive, 0.0).is_ok());
+        assert!(index
+            .search(&base[..DIM], 5, SearchBackend::Naive, 0.0)
+            .is_ok());
     }
 
     #[test]
@@ -603,6 +749,9 @@ mod tests {
         // most 8 bytes/vector; uneven clustered partitions may reach c = 1
         // (16 groups each).
         let max_padding: usize = 4 * 16 * 16 * 8;
-        assert!(packed <= row + max_padding, "packed {packed} >> row-major {row}");
+        assert!(
+            packed <= row + max_padding,
+            "packed {packed} >> row-major {row}"
+        );
     }
 }

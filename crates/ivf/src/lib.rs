@@ -7,9 +7,22 @@
 //!    query falls into ([`CoarseQuantizer`]);
 //! 2. **distance tables** — per-query tables over the *residual*
 //!    `y − c(y)`;
-//! 3. **scan** — PQ Scan or PQ Fast Scan over the partition's codes
-//!    (>99 % of query CPU time for multi-million-vector partitions, which
-//!    is why the paper attacks this step).
+//! 3. **scan** — any backend from the `pqfs-scan` registry over the
+//!    partition's codes (>99 % of query CPU time for multi-million-vector
+//!    partitions, which is why the paper attacks this step).
+//!
+//! # Backend dispatch
+//!
+//! [`SearchBackend`] is a re-export of the scan crate's `Backend` registry
+//! enum. At build time, [`IvfadcConfig::backends`] lists the backends each
+//! partition prepares (via `Scanner::prepare`: row-major baselines share
+//! the partition's code storage, the transposed baselines keep a transposed
+//! copy, Fast Scan keeps its grouped/packed index); at query time,
+//! [`IvfadcIndex::search`] routes to the prepared state for the requested
+//! backend. There is **no per-backend `match` in this crate** — adding a
+//! kernel to the scan registry makes it available here by listing it in
+//! `backends`. Every backend returns the exact same neighbors, which the
+//! test suites of both crates verify.
 //!
 //! ```
 //! use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
@@ -22,11 +35,19 @@
 //! };
 //! let train = gen(1000);
 //! let base = gen(500);
-//! let index = IvfadcIndex::build(&train, &base, &IvfadcConfig::new(dim, 4)).unwrap();
+//! // Prepare every registered backend, not just the default three.
+//! let config = IvfadcConfig::new(dim, 4).with_backends(SearchBackend::ALL.to_vec());
+//! let index = IvfadcIndex::build(&train, &base, &config).unwrap();
 //!
 //! let query = &base[..dim];
-//! let found = index.search(query, 5, SearchBackend::FastScan, 0.01).unwrap();
-//! assert!(!found.neighbors.is_empty());
+//! let reference = index.search(query, 5, SearchBackend::Naive, 0.0).unwrap();
+//! for backend in SearchBackend::ALL {
+//!     let found = index.search(query, 5, backend, 0.01).unwrap();
+//!     let ids = |o: &pqfs_ivf::SearchOutcome| {
+//!         o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
+//!     };
+//!     assert_eq!(ids(&found), ids(&reference), "{backend} must be exact");
+//! }
 //! ```
 
 pub mod coarse;

@@ -6,29 +6,106 @@
 //!
 //! ```text
 //! magic  "PQIV"          4 bytes
-//! version u32            currently 1
+//! version u32            currently 2
 //! dim     u64
 //! partitions u64
 //! coarse centroids       partitions × dim × f32
 //! embedded quantizer     pqfs-core persist format (length-prefixed, u64)
-//! fastscan flag          u8 (1 = rebuild per-partition Fast Scan indexes)
+//! backend set            u8 — v2: bitmask over `SearchBackend::ALL` order;
+//!                        v1 (still readable): 1 = naive+libpq+fastscan,
+//!                        0 = naive+libpq
+//! scan options (v2 only) keep f64, bins u16, group_components u8
+//!                        (255 = auto), kernel u8 (0 auto, 1 portable,
+//!                        2 ssse3, 3 avx2)
 //! per partition:
 //!   len   u64
 //!   ids   len × u64
 //!   codes len × m bytes
 //! ```
 //!
-//! Fast Scan indexes are *rebuilt* on load (grouping is deterministic and
+//! Backend scan state (transposed layouts, Fast Scan grouping) is *rebuilt*
+//! on load through the scan registry (preparation is deterministic and
 //! costs a small fraction of what decoding the codes from disk does).
 
 use crate::coarse::CoarseQuantizer;
-use crate::index::IvfadcIndex;
+use crate::index::{IvfadcConfig, IvfadcIndex, SearchBackend};
 use pqfs_core::persist::{load_pq, save_pq, PersistError};
+use pqfs_scan::{Kernel, ScanOpts};
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"PQIV";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Encodes a backend set as a bitmask over [`SearchBackend::ALL`] order.
+fn backends_to_mask(backends: &[SearchBackend]) -> u8 {
+    let mut mask = 0u8;
+    for (bit, b) in SearchBackend::ALL.iter().enumerate() {
+        if backends.contains(b) {
+            mask |= 1 << bit;
+        }
+    }
+    mask
+}
+
+/// Encodes the scan options as the fixed 12-byte v2 block.
+fn write_scan_opts(w: &mut impl Write, opts: &ScanOpts) -> io::Result<()> {
+    w.write_all(&opts.keep.to_le_bytes())?;
+    w.write_all(&opts.bins.to_le_bytes())?;
+    let gc = match opts.group_components {
+        Some(c) if c <= 4 => c as u8,
+        _ => u8::MAX,
+    };
+    w.write_all(&[gc])?;
+    let kernel = match opts.kernel {
+        Kernel::Auto => 0u8,
+        Kernel::Portable => 1,
+        Kernel::Ssse3 => 2,
+        Kernel::Avx2 => 3,
+    };
+    w.write_all(&[kernel])?;
+    Ok(())
+}
+
+/// Decodes the fixed 12-byte v2 scan-options block.
+fn read_scan_opts(r: &mut impl Read) -> Result<ScanOpts, PersistError> {
+    let mut buf = [0u8; 12];
+    r.read_exact(&mut buf)
+        .map_err(|_| PersistError::Format("truncated scan options".into()))?;
+    let keep = f64::from_le_bytes(buf[0..8].try_into().expect("8-byte slice"));
+    if !(0.0..=1.0).contains(&keep) {
+        return Err(PersistError::Format(format!("keep {keep} outside [0, 1]")));
+    }
+    let bins = u16::from_le_bytes(buf[8..10].try_into().expect("2-byte slice"));
+    let group_components = match buf[10] {
+        u8::MAX => None,
+        c if c <= 4 => Some(c as usize),
+        c => return Err(PersistError::Format(format!("bad group_components {c}"))),
+    };
+    let kernel = match buf[11] {
+        0 => Kernel::Auto,
+        1 => Kernel::Portable,
+        2 => Kernel::Ssse3,
+        3 => Kernel::Avx2,
+        k => return Err(PersistError::Format(format!("bad kernel tag {k}"))),
+    };
+    Ok(ScanOpts {
+        keep,
+        bins,
+        group_components,
+        kernel,
+    })
+}
+
+/// Decodes a v2 backend bitmask (unknown future bits are ignored).
+fn mask_to_backends(mask: u8) -> Vec<SearchBackend> {
+    SearchBackend::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(bit, _)| mask & (1 << bit) != 0)
+        .map(|(_, b)| b)
+        .collect()
+}
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
@@ -61,7 +138,8 @@ impl IvfadcIndex {
         save_pq(self.pq(), &mut pq_bytes)?;
         w.write_all(&(pq_bytes.len() as u64).to_le_bytes())?;
         w.write_all(&pq_bytes)?;
-        w.write_all(&[u8::from(self.has_fastscan())])?;
+        w.write_all(&[backends_to_mask(&self.prepared_backends())])?;
+        write_scan_opts(w, self.scan_opts())?;
         for p in 0..parts {
             let (ids, codes) = self.partition_raw(p);
             w.write_all(&(ids.len() as u64).to_le_bytes())?;
@@ -86,13 +164,17 @@ impl IvfadcIndex {
             return Err(PersistError::Format(format!("bad magic {magic:?}")));
         }
         let version = read_u32(r)?;
-        if version != VERSION {
-            return Err(PersistError::Format(format!("unsupported version {version}")));
+        if version == 0 || version > VERSION {
+            return Err(PersistError::Format(format!(
+                "unsupported version {version}"
+            )));
         }
         let dim = read_u64(r)? as usize;
         let parts = read_u64(r)? as usize;
         if dim == 0 || parts == 0 {
-            return Err(PersistError::Format("empty dimension or partition count".into()));
+            return Err(PersistError::Format(
+                "empty dimension or partition count".into(),
+            ));
         }
         let mut centroids = vec![0u8; parts * dim * 4];
         r.read_exact(&mut centroids)
@@ -116,7 +198,20 @@ impl IvfadcIndex {
 
         let mut flag = [0u8; 1];
         r.read_exact(&mut flag)?;
-        let fastscan = flag[0] != 0;
+        let (backends, opts) = if version == 1 {
+            // v1 stored a single fastscan-enabled flag and no options.
+            let backends = if flag[0] != 0 {
+                IvfadcConfig::default_backends()
+            } else {
+                vec![SearchBackend::Naive, SearchBackend::Libpq]
+            };
+            (backends, ScanOpts::default())
+        } else {
+            // An empty mask is legal: an index whose configured backends
+            // were all shape-skipped roundtrips to one that (faithfully)
+            // serves no backend.
+            (mask_to_backends(flag[0]), read_scan_opts(r)?)
+        };
 
         let m = pq.config().m();
         let mut partitions = Vec::with_capacity(parts);
@@ -137,8 +232,14 @@ impl IvfadcIndex {
             partitions.push((ids, codes));
         }
 
-        IvfadcIndex::from_parts(CoarseQuantizer::from_centroids(centroids, dim), pq, partitions, fastscan)
-            .map_err(|e| PersistError::Format(e.to_string()))
+        IvfadcIndex::from_parts(
+            CoarseQuantizer::from_centroids(centroids, dim),
+            pq,
+            partitions,
+            &backends,
+            opts,
+        )
+        .map_err(|e| PersistError::Format(e.to_string()))
     }
 
     /// Saves to a file.
@@ -196,6 +297,108 @@ mod tests {
                 assert_eq!(ids(&a), ids(&b), "query {qi}");
             }
         }
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_prepared_backend_set() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let gen = |rng: &mut StdRng, n: usize| -> Vec<f32> {
+            (0..n * DIM).map(|_| rng.gen_range(0.0f32..255.0)).collect()
+        };
+        let train = gen(&mut rng, 1000);
+        let base = gen(&mut rng, 300);
+        let config = IvfadcConfig::new(DIM, 2).with_backends(SearchBackend::ALL.to_vec());
+        let index = IvfadcIndex::build(&train, &base, &config).unwrap();
+        assert_eq!(index.prepared_backends(), SearchBackend::ALL.to_vec());
+
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = IvfadcIndex::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.prepared_backends(), SearchBackend::ALL.to_vec());
+        // Every persisted backend still answers queries after the roundtrip.
+        for backend in SearchBackend::ALL {
+            assert!(
+                loaded.search(&base[..DIM], 3, backend, 0.01).is_ok(),
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_fastscan_flag_still_loads() {
+        // A v1 writer stored `1` for naive+libpq+fastscan; synthesize that
+        // file from a v2 buffer by patching version and mask bytes.
+        let (index, _) = build();
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let mask_pos = backend_mask_position(&buf);
+        buf[mask_pos] = 1;
+        // v1 had no scan-options block: drop the 12 bytes after the flag.
+        buf.drain(mask_pos + 1..mask_pos + 13);
+        let loaded = IvfadcIndex::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.prepared_backends(), IvfadcConfig::default_backends());
+    }
+
+    /// Byte offset of the backend mask: after magic, version, dim,
+    /// partitions, centroids, and the length-prefixed quantizer.
+    fn backend_mask_position(buf: &[u8]) -> usize {
+        let dim = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+        let parts = u64::from_le_bytes(buf[16..24].try_into().unwrap()) as usize;
+        let pq_len_pos = 24 + parts * dim * 4;
+        let pq_len =
+            u64::from_le_bytes(buf[pq_len_pos..pq_len_pos + 8].try_into().unwrap()) as usize;
+        pq_len_pos + 8 + pq_len
+    }
+
+    #[test]
+    fn roundtrip_preserves_scan_options() {
+        use pqfs_scan::{Kernel, ScanOpts};
+        let mut rng = StdRng::seed_from_u64(57);
+        let gen = |rng: &mut StdRng, n: usize| -> Vec<f32> {
+            (0..n * DIM).map(|_| rng.gen_range(0.0f32..255.0)).collect()
+        };
+        let train = gen(&mut rng, 800);
+        let base = gen(&mut rng, 200);
+        let opts = ScanOpts::default()
+            .with_keep(0.02)
+            .with_bins(126)
+            .with_group_components(1)
+            .with_kernel(Kernel::Portable);
+        let config = IvfadcConfig::new(DIM, 2).with_scan_opts(opts);
+        let index = IvfadcIndex::build(&train, &base, &config).unwrap();
+
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = IvfadcIndex::load(&mut buf.as_slice()).unwrap();
+        let roundtripped = loaded.scan_opts();
+        assert_eq!(roundtripped.keep, 0.02);
+        assert_eq!(roundtripped.bins, 126);
+        assert_eq!(roundtripped.group_components, Some(1));
+        assert_eq!(roundtripped.kernel, Kernel::Portable);
+        // Identical options => identical prepared state => identical memory
+        // accounting (the Figure 20 number survives persistence).
+        assert_eq!(
+            loaded.code_memory_bytes(SearchBackend::FastScan),
+            index.code_memory_bytes(SearchBackend::FastScan)
+        );
+    }
+
+    #[test]
+    fn empty_base_index_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(58);
+        let train: Vec<f32> = (0..1000 * DIM)
+            .map(|_| rng.gen_range(0.0f32..255.0))
+            .collect();
+        let index = IvfadcIndex::build(&train, &[], &IvfadcConfig::new(DIM, 2)).unwrap();
+        assert!(index.is_empty());
+        assert_eq!(index.prepared_backends(), IvfadcConfig::default_backends());
+
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = IvfadcIndex::load(&mut buf.as_slice()).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.prepared_backends(), IvfadcConfig::default_backends());
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl fmt::Display for KMeansError {
         match self {
             KMeansError::EmptyInput => write!(f, "input data is empty"),
             KMeansError::BadShape { len, dim } => {
-                write!(f, "data length {len} is not a positive multiple of dim {dim}")
+                write!(
+                    f,
+                    "data length {len} is not a positive multiple of dim {dim}"
+                )
             }
             KMeansError::KExceedsPoints { k, n } => {
                 write!(f, "cannot build {k} clusters from {n} points")

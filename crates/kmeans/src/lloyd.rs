@@ -42,7 +42,13 @@ impl KMeansConfig {
     /// Configuration with library defaults (`max_iters = 25`, `tol = 1e-4`,
     /// k-means++ init, seed 0).
     pub fn new(k: usize) -> Self {
-        KMeansConfig { k, max_iters: 25, tol: 1e-4, seed: 0, init: InitMethod::default() }
+        KMeansConfig {
+            k,
+            max_iters: 25,
+            tol: 1e-4,
+            seed: 0,
+            init: InitMethod::default(),
+        }
     }
 
     /// Replaces the RNG seed.
@@ -118,7 +124,9 @@ impl KMeans {
     /// Quantizes a batch of row-major vectors, returning one centroid index
     /// per row.
     pub fn assign_all(&self, data: &[f32]) -> Vec<u32> {
-        data.chunks_exact(self.dim).map(|v| self.assign(v).0 as u32).collect()
+        data.chunks_exact(self.dim)
+            .map(|v| self.assign(v).0 as u32)
+            .collect()
     }
 
     /// Builds a model directly from a centroid matrix (used by tests and by
@@ -129,7 +137,12 @@ impl KMeans {
     /// Panics if the matrix is empty or not a multiple of `dim`.
     pub fn from_centroids(centroids: Vec<f32>, dim: usize) -> Self {
         assert!(dim > 0 && !centroids.is_empty() && centroids.len() % dim == 0);
-        KMeans { centroids, dim, inertia: f64::NAN, iterations: 0 }
+        KMeans {
+            centroids,
+            dim,
+            inertia: f64::NAN,
+            iterations: 0,
+        }
     }
 }
 
@@ -141,7 +154,10 @@ fn validate(data: &[f32], dim: usize, k: usize) -> Result<usize, KMeansError> {
         return Err(KMeansError::EmptyInput);
     }
     if dim == 0 || data.len() % dim != 0 {
-        return Err(KMeansError::BadShape { len: data.len(), dim });
+        return Err(KMeansError::BadShape {
+            len: data.len(),
+            dim,
+        });
     }
     if data.iter().any(|x| !x.is_finite()) {
         return Err(KMeansError::NonFiniteInput);
@@ -269,16 +285,17 @@ pub fn train(data: &[f32], dim: usize, cfg: &KMeansConfig) -> Result<KMeans, KMe
             if counts[c] == 0 {
                 // Empty-cluster repair: steal the point farthest from its
                 // centroid. Deterministic (first maximal index).
-                let (far, _) = dists
-                    .iter()
-                    .enumerate()
-                    .fold((0usize, f32::NEG_INFINITY), |acc, (i, &d)| {
-                        if d > acc.1 {
-                            (i, d)
-                        } else {
-                            acc
-                        }
-                    });
+                let (far, _) =
+                    dists
+                        .iter()
+                        .enumerate()
+                        .fold((0usize, f32::NEG_INFINITY), |acc, (i, &d)| {
+                            if d > acc.1 {
+                                (i, d)
+                            } else {
+                                acc
+                            }
+                        });
                 centroids[c * dim..(c + 1) * dim]
                     .copy_from_slice(&data[far * dim..(far + 1) * dim]);
                 dists[far] = 0.0; // don't steal the same point twice
@@ -300,7 +317,12 @@ pub fn train(data: &[f32], dim: usize, cfg: &KMeansConfig) -> Result<KMeans, KMe
         prev_inertia = inertia;
     }
 
-    Ok(KMeans { centroids, dim, inertia, iterations })
+    Ok(KMeans {
+        centroids,
+        dim,
+        inertia,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -373,7 +395,9 @@ mod tests {
     #[test]
     fn random_init_also_works() {
         let data = blob_data(&[[0.0, 0.0], [50.0, 50.0]], 40, 1.0, 11);
-        let cfg = KMeansConfig::new(2).with_seed(5).with_init(InitMethod::Random);
+        let cfg = KMeansConfig::new(2)
+            .with_seed(5)
+            .with_init(InitMethod::Random);
         let model = train(&data, 2, &cfg).unwrap();
         let (c0, _) = model.assign(&[0.0, 0.0]);
         let (c1, _) = model.assign(&[50.0, 50.0]);
@@ -383,19 +407,35 @@ mod tests {
     #[test]
     fn inertia_never_increases_with_more_iterations() {
         let data = blob_data(&[[0.0, 0.0], [8.0, 3.0], [1.0, 9.0]], 60, 3.0, 13);
-        let short = train(&data, 2, &KMeansConfig::new(6).with_seed(2).with_max_iters(1)).unwrap();
-        let long = train(&data, 2, &KMeansConfig::new(6).with_seed(2).with_max_iters(30)).unwrap();
+        let short = train(
+            &data,
+            2,
+            &KMeansConfig::new(6).with_seed(2).with_max_iters(1),
+        )
+        .unwrap();
+        let long = train(
+            &data,
+            2,
+            &KMeansConfig::new(6).with_seed(2).with_max_iters(30),
+        )
+        .unwrap();
         assert!(long.inertia() <= short.inertia() + 1e-9);
     }
 
     #[test]
     fn error_cases() {
-        assert_eq!(train(&[], 2, &KMeansConfig::new(2)).unwrap_err(), KMeansError::EmptyInput);
+        assert_eq!(
+            train(&[], 2, &KMeansConfig::new(2)).unwrap_err(),
+            KMeansError::EmptyInput
+        );
         assert_eq!(
             train(&[1.0, 2.0, 3.0], 2, &KMeansConfig::new(1)).unwrap_err(),
             KMeansError::BadShape { len: 3, dim: 2 }
         );
-        assert_eq!(train(&[1.0, 2.0], 2, &KMeansConfig::new(0)).unwrap_err(), KMeansError::ZeroK);
+        assert_eq!(
+            train(&[1.0, 2.0], 2, &KMeansConfig::new(0)).unwrap_err(),
+            KMeansError::ZeroK
+        );
         assert_eq!(
             train(&[1.0, 2.0], 2, &KMeansConfig::new(2)).unwrap_err(),
             KMeansError::KExceedsPoints { k: 2, n: 1 }

@@ -35,7 +35,11 @@ pub struct SameSizeConfig {
 impl SameSizeConfig {
     /// Defaults: 10 refinement passes, seed 0.
     pub fn new(k: usize) -> Self {
-        SameSizeConfig { k, max_iters: 10, seed: 0 }
+        SameSizeConfig {
+            k,
+            max_iters: 10,
+            seed: 0,
+        }
     }
 
     /// Replaces the RNG seed.
@@ -159,7 +163,10 @@ pub fn train_same_size(
             }
             mn - mx // most negative = cares most
         };
-        spread(row_a).partial_cmp(&spread(row_b)).unwrap().then(a.cmp(&b))
+        spread(row_a)
+            .partial_cmp(&spread(row_b))
+            .unwrap()
+            .then(a.cmp(&b))
     });
     let mut assignment = vec![u32::MAX; n];
     let mut remaining = vec![capacity; k];
@@ -211,7 +218,11 @@ pub fn train_same_size(
 
     let means = cluster_means(data, dim, &assignment, k);
     let cost = total_cost(data, dim, &assignment, &means);
-    Ok(SameSizeKMeans { assignment, k, cost })
+    Ok(SameSizeKMeans {
+        assignment,
+        k,
+        cost,
+    })
 }
 
 #[cfg(test)]
@@ -285,10 +296,26 @@ mod tests {
         // (max_iters = 0 disables refinement).
         let mut rng = StdRng::seed_from_u64(5);
         let data: Vec<f32> = (0..128 * 3).map(|_| rng.gen_range(0.0..50.0f32)).collect();
-        let greedy =
-            train_same_size(&data, 3, &SameSizeConfig { k: 8, max_iters: 0, seed: 9 }).unwrap();
-        let refined =
-            train_same_size(&data, 3, &SameSizeConfig { k: 8, max_iters: 10, seed: 9 }).unwrap();
+        let greedy = train_same_size(
+            &data,
+            3,
+            &SameSizeConfig {
+                k: 8,
+                max_iters: 0,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        let refined = train_same_size(
+            &data,
+            3,
+            &SameSizeConfig {
+                k: 8,
+                max_iters: 10,
+                seed: 9,
+            },
+        )
+        .unwrap();
         assert!(refined.cost() <= greedy.cost() + 1e-6);
     }
 

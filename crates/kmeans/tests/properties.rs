@@ -1,7 +1,7 @@
 //! Property-based tests of the clustering substrate.
 
-use proptest::prelude::*;
 use pqfs_kmeans::{train, train_same_size, KMeansConfig, SameSizeConfig};
+use proptest::prelude::*;
 
 fn flat_points(points: &[Vec<f32>]) -> Vec<f32> {
     points.iter().flatten().copied().collect()

@@ -175,7 +175,10 @@ mod tests {
         let naive = pqscan_ops(PqScanImpl::Naive, 8);
         let avx = pqscan_ops(PqScanImpl::Avx, 8);
         assert!(avx.instructions < naive.instructions);
-        assert!(avx.instructions > 0.5 * naive.instructions, "only a marginal saving");
+        assert!(
+            avx.instructions > 0.5 * naive.instructions,
+            "only a marginal saving"
+        );
     }
 
     #[test]
@@ -190,7 +193,11 @@ mod tests {
         let ops = fastscan_ops(&profile);
         // Paper: 1.3 L1 loads, 3.7 instructions per vector.
         assert!((0.5..=2.0).contains(&ops.l1_loads), "l1={}", ops.l1_loads);
-        assert!((2.0..=6.0).contains(&ops.instructions), "instr={}", ops.instructions);
+        assert!(
+            (2.0..=6.0).contains(&ops.instructions),
+            "instr={}",
+            ops.instructions
+        );
         // And the headline ratios vs libpq hold.
         let libpq = pqscan_ops(PqScanImpl::Libpq, 8);
         assert!(libpq.l1_loads / ops.l1_loads > 4.0);

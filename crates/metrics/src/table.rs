@@ -13,7 +13,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; short rows are padded with empty cells, long rows
@@ -123,7 +126,7 @@ mod tests {
 
     #[test]
     fn fmt_helpers() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(1.2345, 2), "1.23");
         assert_eq!(fmt_count(0), "0");
         assert_eq!(fmt_count(999), "999");
         assert_eq!(fmt_count(25_000_000), "25_000_000");

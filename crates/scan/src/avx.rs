@@ -42,7 +42,10 @@ pub fn scan_avx(tables: &DistanceTables, codes: &TransposedCodes, topk: usize) -
 
     ScanResult {
         neighbors: heap.into_sorted(),
-        stats: ScanStats { scanned: n as u64, ..ScanStats::default() },
+        stats: ScanStats {
+            scanned: n as u64,
+            ..ScanStats::default()
+        },
     }
 }
 
@@ -55,7 +58,7 @@ fn block_distances(
     b: usize,
     dists: &mut [f32; TRANSPOSED_BLOCK],
 ) {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     {
         if std::arch::is_x86_feature_detected!("avx") {
             // SAFETY: AVX support was just verified at runtime.
@@ -84,7 +87,7 @@ fn block_distances_portable(
     }
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", feature = "avx2"))]
 #[target_feature(enable = "avx")]
 unsafe fn block_distances_avx(
     tables: &DistanceTables,

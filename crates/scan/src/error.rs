@@ -40,7 +40,10 @@ impl fmt::Display for ScanError {
                 write!(f, "group_components must be in 0..=4, got {c}")
             }
             ScanError::TableCodeMismatch { table_m, code_m } => {
-                write!(f, "distance tables have m={table_m} but codes have m={code_m}")
+                write!(
+                    f,
+                    "distance tables have m={table_m} but codes have m={code_m}"
+                )
             }
             ScanError::KernelUnavailable { kernel } => {
                 write!(f, "SIMD kernel '{kernel}' is not supported by this CPU")
@@ -57,8 +60,14 @@ mod tests {
 
     #[test]
     fn display_mentions_the_problem() {
-        assert!(ScanError::NeedsPq8x8 { m: 4, ksub: 16 }.to_string().contains("m=4"));
-        assert!(ScanError::BadGroupComponents { c: 9 }.to_string().contains('9'));
-        assert!(ScanError::KernelUnavailable { kernel: "ssse3" }.to_string().contains("ssse3"));
+        assert!(ScanError::NeedsPq8x8 { m: 4, ksub: 16 }
+            .to_string()
+            .contains("m=4"));
+        assert!(ScanError::BadGroupComponents { c: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(ScanError::KernelUnavailable { kernel: "ssse3" }
+            .to_string()
+            .contains("ssse3"));
     }
 }

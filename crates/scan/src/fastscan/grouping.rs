@@ -108,12 +108,17 @@ impl GroupedCodes {
         // Stable bucket assignment: BTreeMap gives ascending key order.
         let mut buckets: BTreeMap<GroupKey, Vec<u32>> = BTreeMap::new();
         for (i, code) in codes.iter().enumerate() {
-            buckets.entry(group_key(code, c)).or_default().push(i as u32);
+            buckets
+                .entry(group_key(code, c))
+                .or_default()
+                .push(i as u32);
         }
 
         let n = codes.len();
-        let total_blocks: usize =
-            buckets.values().map(|ids| ids.len().div_ceil(FS_BLOCK)).sum();
+        let total_blocks: usize = buckets
+            .values()
+            .map(|ids| ids.len().div_ceil(FS_BLOCK))
+            .sum();
         let mut blocks = vec![0u8; total_blocks * bpb];
         let mut ids = Vec::with_capacity(n);
         let mut groups = Vec::with_capacity(buckets.len());
@@ -129,11 +134,22 @@ impl GroupedCodes {
                 layout.write_code(block, pos % FS_BLOCK, codes.code(id as usize));
             }
             ids.extend_from_slice(&members);
-            groups.push(GroupMeta { key, start, len, block_offset });
+            groups.push(GroupMeta {
+                key,
+                start,
+                len,
+                block_offset,
+            });
             block_offset += group_bytes;
         }
 
-        GroupedCodes { layout, blocks, ids, groups, n }
+        GroupedCodes {
+            layout,
+            blocks,
+            ids,
+            groups,
+            n,
+        }
     }
 
     /// The block layout in use.

@@ -21,6 +21,11 @@
 //! portable implementation is always available and doubles as the test
 //! oracle.
 
+// The kernels index fixed-size register arrays with the component number
+// `j`; explicit `j in c..FS_M` loops mirror the paper's per-component
+// notation and keep the grouped/min-table split visible.
+#![allow(clippy::needless_range_loop)]
+
 use crate::fastscan::grouping::GroupedCodes;
 use crate::fastscan::layout::{FS_BLOCK, FS_M, PORTION};
 use crate::ScanError;
@@ -48,9 +53,9 @@ pub enum Kernel {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum ResolvedKernel {
     Portable,
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     Ssse3,
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     Avx2,
 }
 
@@ -64,7 +69,7 @@ impl Kernel {
     pub(crate) fn resolve(self) -> Result<ResolvedKernel, ScanError> {
         match self {
             Kernel::Auto => {
-                #[cfg(target_arch = "x86_64")]
+                #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
                 {
                     if std::arch::is_x86_feature_detected!("avx2") {
                         return Ok(ResolvedKernel::Avx2);
@@ -77,7 +82,7 @@ impl Kernel {
             }
             Kernel::Portable => Ok(ResolvedKernel::Portable),
             Kernel::Ssse3 => {
-                #[cfg(target_arch = "x86_64")]
+                #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
                 {
                     if std::arch::is_x86_feature_detected!("ssse3") {
                         return Ok(ResolvedKernel::Ssse3);
@@ -86,7 +91,7 @@ impl Kernel {
                 Err(ScanError::KernelUnavailable { kernel: "ssse3" })
             }
             Kernel::Avx2 => {
-                #[cfg(target_arch = "x86_64")]
+                #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
                 {
                     if std::arch::is_x86_feature_detected!("avx2") {
                         return Ok(ResolvedKernel::Avx2);
@@ -172,7 +177,11 @@ pub(crate) fn scan_all_portable<F: Visit>(
         let blocks = grouped.group_blocks(g);
         for b in 0..g.num_blocks() {
             let valid = (g.len - b * FS_BLOCK).min(FS_BLOCK);
-            let valid_mask = if valid == FS_BLOCK { u16::MAX } else { (1u16 << valid) - 1 };
+            let valid_mask = if valid == FS_BLOCK {
+                u16::MAX
+            } else {
+                (1u16 << valid) - 1
+            };
             let block = &blocks[b * bpb..(b + 1) * bpb];
             let mut mask = block_mask_portable(c, block, &tables.small, threshold) & valid_mask;
             candidates += mask.count_ones() as u64;
@@ -186,7 +195,7 @@ pub(crate) fn scan_all_portable<F: Visit>(
     candidates
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", feature = "avx2"))]
 pub(crate) mod x86 {
     //! The SSSE3 implementation (the paper's actual kernel), monomorphized
     //! on the grouping-component count `C`.
@@ -267,9 +276,8 @@ pub(crate) mod x86 {
             // Portion registers for this group (Figure 13, solid arrows).
             for j in 0..C {
                 let portion = g.key[j] as usize * PORTION;
-                regs[j] = _mm_loadu_si128(
-                    tables.grouped[j].as_ptr().add(portion) as *const __m128i
-                );
+                regs[j] =
+                    _mm_loadu_si128(tables.grouped[j].as_ptr().add(portion) as *const __m128i);
             }
             let blocks = grouped.group_blocks(g);
             let base = blocks.as_ptr();
@@ -299,8 +307,7 @@ pub(crate) mod x86 {
             if tail != 0 {
                 let b = full_blocks;
                 let valid_mask = (1u16 << tail) - 1;
-                let mut mask =
-                    block_mask_ssse3::<C>(base.add(b * bpb), &regs, tvec) & valid_mask;
+                let mut mask = block_mask_ssse3::<C>(base.add(b * bpb), &regs, tvec) & valid_mask;
                 candidates += mask.count_ones() as u64;
                 while mask != 0 {
                     let lane = mask.trailing_zeros() as usize;
@@ -417,9 +424,8 @@ pub(crate) mod x86 {
         for (gi, g) in grouped.groups().iter().enumerate() {
             for j in 0..C {
                 let portion = g.key[j] as usize * PORTION;
-                regs128[j] = _mm_loadu_si128(
-                    tables.grouped[j].as_ptr().add(portion) as *const __m128i
-                );
+                regs128[j] =
+                    _mm_loadu_si128(tables.grouped[j].as_ptr().add(portion) as *const __m128i);
                 regs256[j] = _mm256_broadcastsi128_si256(regs128[j]);
             }
             let blocks = grouped.group_blocks(g);
@@ -533,12 +539,7 @@ mod tests {
 
     /// Oracle: lower bound of one vector from its reconstructed code and
     /// the logical small tables (portions + minimum tables).
-    fn oracle_bound(
-        grouped: &GroupedCodes,
-        tables: &ScanTables,
-        g: usize,
-        idx: usize,
-    ) -> u8 {
+    fn oracle_bound(grouped: &GroupedCodes, tables: &ScanTables, g: usize, idx: usize) -> u8 {
         let c = grouped.layout().c();
         let meta = grouped.groups()[g];
         let code = grouped.read_code(&meta, idx);
@@ -563,7 +564,7 @@ mod tests {
         let mut tables = tables.clone();
         let mut visited = Vec::new();
         let count = if ssse3 {
-            #[cfg(target_arch = "x86_64")]
+            #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
             {
                 assert!(std::arch::is_x86_feature_detected!("ssse3"));
                 unsafe {
@@ -573,7 +574,7 @@ mod tests {
                     })
                 }
             }
-            #[cfg(not(target_arch = "x86_64"))]
+            #[cfg(not(all(target_arch = "x86_64", feature = "avx2")))]
             unreachable!()
         } else {
             scan_all_portable(grouped, &mut tables, t, &mut |g, idx| {
@@ -592,8 +593,7 @@ mod tests {
             for t in [0u8, 40, 90, 200, 255] {
                 let (visited, count) = collect_candidates(&grouped, &tables, t, false);
                 assert_eq!(visited.len() as u64, count);
-                let set: std::collections::HashSet<(usize, usize)> =
-                    visited.into_iter().collect();
+                let set: std::collections::HashSet<(usize, usize)> = visited.into_iter().collect();
                 for (gi, g) in grouped.groups().iter().enumerate() {
                     for idx in 0..g.len {
                         // The oracle uses the *exact* quantized entry for
@@ -611,7 +611,7 @@ mod tests {
         }
     }
 
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     #[test]
     fn ssse3_scan_is_bit_identical_to_portable() {
         if !std::arch::is_x86_feature_detected!("ssse3") {
@@ -632,7 +632,7 @@ mod tests {
         }
     }
 
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     #[test]
     fn avx2_scan_matches_portable_under_static_threshold() {
         if !std::arch::is_x86_feature_detected!("avx2") {
@@ -662,7 +662,7 @@ mod tests {
         }
     }
 
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     #[test]
     fn kernels_agree_under_dynamic_thresholds() {
         if !std::arch::is_x86_feature_detected!("ssse3") {
@@ -712,8 +712,11 @@ mod tests {
     #[test]
     fn kernel_resolution() {
         assert!(Kernel::Auto.resolve().is_ok());
-        assert_eq!(Kernel::Portable.resolve().unwrap(), ResolvedKernel::Portable);
-        #[cfg(target_arch = "x86_64")]
+        assert_eq!(
+            Kernel::Portable.resolve().unwrap(),
+            ResolvedKernel::Portable
+        );
+        #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
         {
             if std::arch::is_x86_feature_detected!("ssse3") {
                 assert_eq!(Kernel::Ssse3.resolve().unwrap(), ResolvedKernel::Ssse3);

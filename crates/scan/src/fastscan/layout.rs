@@ -205,7 +205,11 @@ mod tests {
                 layout.write_code(&mut block, lane, code);
             }
             for (lane, code) in codes.iter().enumerate() {
-                assert_eq!(layout.read_code(&block, lane, &key), *code, "c={c} lane={lane}");
+                assert_eq!(
+                    layout.read_code(&block, lane, &key),
+                    *code,
+                    "c={c} lane={lane}"
+                );
             }
         }
     }
@@ -230,7 +234,10 @@ mod tests {
             for j in c..FS_M {
                 mark(layout.ungrouped_offset(j));
             }
-            assert!(seen.iter().all(|&b| b), "layout must cover the whole block (c={c})");
+            assert!(
+                seen.iter().all(|&b| b),
+                "layout must cover the whole block (c={c})"
+            );
         }
     }
 }

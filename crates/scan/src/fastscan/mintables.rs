@@ -18,7 +18,11 @@ use pqfs_core::DistanceTables;
 ///
 /// Panics if `table.len()` is not a multiple of [`PORTION`].
 pub fn min_table(table: &[f32]) -> Vec<f32> {
-    assert_eq!(table.len() % PORTION, 0, "table must divide into 16-entry portions");
+    assert_eq!(
+        table.len() % PORTION,
+        0,
+        "table must divide into 16-entry portions"
+    );
     table
         .chunks_exact(PORTION)
         .map(|p| p.iter().copied().fold(f32::INFINITY, f32::min))
@@ -84,16 +88,15 @@ mod tests {
 
     #[test]
     fn quantized_min_is_lower_bound_of_quantized_entries() {
-        let data: Vec<f32> = (0..2 * 256).map(|i| ((i * 37) % 997) as f32 * 0.25).collect();
+        let data: Vec<f32> = (0..2 * 256)
+            .map(|i| ((i * 37) % 997) as f32 * 0.25)
+            .collect();
         let tables = DistanceTables::from_raw(data, 2, 256);
         let q = DistanceQuantizer::new(&tables, 150.0, 254);
         let qmins = quantized_min_tables(&tables, &q, 0);
-        for j in 0..2 {
+        for (j, qmin) in qmins.iter().enumerate().take(2) {
             for (i, &v) in tables.table(j).iter().enumerate() {
-                assert!(
-                    qmins[j][i / PORTION] <= q.quantize_value(j, v),
-                    "j={j}, i={i}"
-                );
+                assert!(qmin[i / PORTION] <= q.quantize_value(j, v), "j={j}, i={i}");
             }
         }
     }

@@ -67,7 +67,11 @@ pub struct FastScanOptions {
 
 impl Default for FastScanOptions {
     fn default() -> Self {
-        FastScanOptions { group_components: None, bins: DEFAULT_BINS, kernel: Kernel::Auto }
+        FastScanOptions {
+            group_components: None,
+            bins: DEFAULT_BINS,
+            kernel: Kernel::Auto,
+        }
     }
 }
 
@@ -109,7 +113,10 @@ impl FastScanIndex {
     ///   `group_components > 4` was requested.
     pub fn build(codes: &RowMajorCodes, opts: &FastScanOptions) -> Result<Self, ScanError> {
         if codes.m() != FS_M {
-            return Err(ScanError::NeedsPq8x8 { m: codes.m(), ksub: 256 });
+            return Err(ScanError::NeedsPq8x8 {
+                m: codes.m(),
+                ksub: 256,
+            });
         }
         let c = match opts.group_components {
             Some(c) if c > 4 => return Err(ScanError::BadGroupComponents { c }),

@@ -47,23 +47,32 @@ pub(crate) fn scan(
     params: &ScanParams,
 ) -> Result<ScanResult, ScanError> {
     if tables.m() != 8 || tables.ksub() != 256 {
-        return Err(ScanError::NeedsPq8x8 { m: tables.m(), ksub: tables.ksub() });
+        return Err(ScanError::NeedsPq8x8 {
+            m: tables.m(),
+            ksub: tables.ksub(),
+        });
     }
     let kernel = index.kernel().resolve()?;
     let grouped = index.grouped();
     let c = grouped.layout().c();
     let n = grouped.len();
     let mut heap = TopK::new(params.topk.max(1));
-    let mut stats = ScanStats { scanned: n as u64, ..ScanStats::default() };
+    let mut stats = ScanStats {
+        scanned: n as u64,
+        ..ScanStats::default()
+    };
     if n == 0 {
-        return Ok(ScanResult { neighbors: Vec::new(), stats });
+        return Ok(ScanResult {
+            neighbors: Vec::new(),
+            stats,
+        });
     }
 
     // ---- Warm-up: plain PQ Scan over a strided keep% sample (§4.4). ----
     // Sampled vectors are pushed into the real heap and excluded from the
     // fast path, so the overall result is exactly PQ Scan's.
     let target = (params.keep.clamp(0.0, 1.0) * n as f64).ceil() as usize;
-    let stride = if target == 0 { 0usize } else { (n / target).max(1) };
+    let stride = n.checked_div(target).map_or(0, |s| s.max(1));
     let mut warm = 0u64;
     if stride > 0 {
         for g in grouped.groups() {
@@ -81,16 +90,24 @@ pub(crate) fn scan(
 
     // ---- Quantization setup (§4.4): qmax = distance to the temporary
     // nearest neighbor, falling back to the maximum possible distance.
-    let qmax = if heap.is_full() { heap.threshold() } else { tables.max_sum() };
+    let qmax = if heap.is_full() {
+        heap.threshold()
+    } else {
+        tables.max_sum()
+    };
     let quantizer = DistanceQuantizer::new(tables, qmax, index.bins());
 
     // Quantized full tables for the grouped components (their 16-entry
     // portions become S_0..S_{c-1}, selected per group by the kernel)...
-    let grouped_tables: Vec<Vec<u8>> =
-        (0..c).map(|j| quantizer.quantize_table(j, tables.table(j))).collect();
+    let grouped_tables: Vec<Vec<u8>> = (0..c)
+        .map(|j| quantizer.quantize_table(j, tables.table(j)))
+        .collect();
     // ...and the minimum tables S_c..S_7, constant for the whole query.
     let min_tables = quantized_min_tables(tables, &quantizer, c);
-    let mut scan_tables = ScanTables { grouped: grouped_tables, small: [[0u8; PORTION]; 8] };
+    let mut scan_tables = ScanTables {
+        grouped: grouped_tables,
+        small: [[0u8; PORTION]; 8],
+    };
     for (j, table) in min_tables.iter().enumerate() {
         scan_tables.small[c + j] = *table;
     }
@@ -122,7 +139,7 @@ pub(crate) fn scan(
         ResolvedKernel::Portable => {
             scan_all_portable(grouped, &mut scan_tables.clone(), threshold, &mut visit);
         }
-        #[cfg(target_arch = "x86_64")]
+        #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
         ResolvedKernel::Ssse3 => {
             // SAFETY: resolution verified SSSE3 support.
             unsafe {
@@ -134,7 +151,7 @@ pub(crate) fn scan(
                 );
             }
         }
-        #[cfg(target_arch = "x86_64")]
+        #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
         ResolvedKernel::Avx2 => {
             // SAFETY: resolution verified AVX2 support.
             unsafe {
@@ -154,5 +171,8 @@ pub(crate) fn scan(
     // invariant `warmup + pruned + verified == scanned` always holds.
     stats.pruned = n as u64 - stats.warmup - stats.verified;
 
-    Ok(ScanResult { neighbors: heap.into_sorted(), stats })
+    Ok(ScanResult {
+        neighbors: heap.into_sorted(),
+        stats,
+    })
 }

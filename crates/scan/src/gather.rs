@@ -42,7 +42,10 @@ pub fn scan_gather(tables: &DistanceTables, codes: &TransposedCodes, topk: usize
 
     ScanResult {
         neighbors: heap.into_sorted(),
-        stats: ScanStats { scanned: n as u64, ..ScanStats::default() },
+        stats: ScanStats {
+            scanned: n as u64,
+            ..ScanStats::default()
+        },
     }
 }
 
@@ -53,7 +56,7 @@ fn block_distances(
     b: usize,
     dists: &mut [f32; TRANSPOSED_BLOCK],
 ) {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just verified at runtime.
@@ -82,7 +85,7 @@ fn block_distances_portable(
     }
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", feature = "avx2"))]
 #[target_feature(enable = "avx2")]
 unsafe fn block_distances_gather(
     tables: &DistanceTables,

@@ -13,6 +13,41 @@
 //! Every implementation returns the **exact same result set** — the `topk`
 //! smallest `(distance, id)` pairs — which the test suite verifies pairwise
 //! and property-based tests verify against brute force.
+//!
+//! # The `Scanner` trait and `Backend` registry
+//!
+//! All implementations are interchangeable behind the [`Scanner`] trait
+//! (`scan` / `name` / `stats_supported`), and the [`Backend`] enum is the
+//! registry that constructs them: [`Backend::ALL`] enumerates every
+//! implementation, [`Backend::scanner`] builds one from [`ScanOpts`], and
+//! `Backend: FromStr` parses the names CLI and bench flags use. Consumers
+//! (the `ivf` index, the `pqfs` CLI, the figure/table binaries) dispatch
+//! exclusively through this registry — there is no per-backend `match` over
+//! scan functions anywhere else in the workspace, so a new kernel added
+//! here is immediately available everywhere.
+//!
+//! For repeated queries over one partition, [`Scanner::prepare`] converts
+//! the codes into the backend's native layout once (transposition for the
+//! SIMD baselines, grouping + packing for Fast Scan) and returns a
+//! [`PreparedScanner`] that serves queries without conversion cost.
+//!
+//! ```
+//! use pqfs_core::{DistanceTables, RowMajorCodes};
+//! use pqfs_scan::{Backend, ScanOpts};
+//!
+//! let tables = DistanceTables::from_raw((0..8 * 256).map(|x| x as f32).collect(), 8, 256);
+//! let codes = RowMajorCodes::new((0..256 * 8).map(|x| (x * 7 % 256) as u8).collect(), 8);
+//! let backend: Backend = "fastscan".parse().unwrap();
+//! let result = backend
+//!     .scanner(&ScanOpts::default())
+//!     .scan(&tables, &codes, 10)
+//!     .unwrap();
+//! assert_eq!(result.neighbors.len(), 10);
+//! ```
+//!
+//! The x86-64 SIMD paths are compiled under the `avx2` cargo feature
+//! (enabled by default) and selected by runtime CPU detection; disabling
+//! the feature forces the portable scalar fallbacks on every backend.
 
 pub mod avx;
 mod error;
@@ -23,6 +58,7 @@ pub mod naive;
 pub mod quantize;
 pub mod quantize_only;
 mod result;
+mod scanner;
 
 pub use avx::scan_avx;
 pub use error::ScanError;
@@ -33,3 +69,4 @@ pub use naive::scan_naive;
 pub use quantize::{DistanceQuantizer, DEFAULT_BINS, NO_PRUNE, PAPER_BINS};
 pub use quantize_only::scan_quantize_only;
 pub use result::{ScanResult, ScanStats};
+pub use scanner::{Backend, PreparedScanner, ScanOpts, Scanner};

@@ -43,7 +43,10 @@ pub fn scan_libpq(tables: &DistanceTables, codes: &RowMajorCodes, topk: usize) -
 
     ScanResult {
         neighbors: heap.into_sorted(),
-        stats: ScanStats { scanned: codes.len() as u64, ..ScanStats::default() },
+        stats: ScanStats {
+            scanned: codes.len() as u64,
+            ..ScanStats::default()
+        },
     }
 }
 

@@ -25,7 +25,10 @@ pub fn scan_naive(tables: &DistanceTables, codes: &RowMajorCodes, topk: usize) -
     }
     ScanResult {
         neighbors: heap.into_sorted(),
-        stats: ScanStats { scanned: codes.len() as u64, ..ScanStats::default() },
+        stats: ScanStats {
+            scanned: codes.len() as u64,
+            ..ScanStats::default()
+        },
     }
 }
 

@@ -67,7 +67,13 @@ impl DistanceQuantizer {
             // quantize everything to 0 and never prune.
             0.0
         };
-        DistanceQuantizer { biases, bias_sum, inv_delta, qmax, bins }
+        DistanceQuantizer {
+            biases,
+            bias_sum,
+            inv_delta,
+            qmax,
+            bins,
+        }
     }
 
     /// Number of distance tables covered.
@@ -200,7 +206,9 @@ mod tests {
         // Use the table minimum as the small-table value (v_j <= D_j[p_j]).
         let v0 = t.per_table_min()[0];
         let v1 = t.per_table_min()[1];
-        let sum = q.quantize_value(0, v0).saturating_add(q.quantize_value(1, v1));
+        let sum = q
+            .quantize_value(0, v0)
+            .saturating_add(q.quantize_value(1, v1));
         for c0 in 0..4u8 {
             for c1 in 0..4u8 {
                 let d = t.distance(&[c0, c1]);

@@ -33,9 +33,15 @@ pub fn scan_quantize_only(
     let n = codes.len();
     let m = codes.m();
     let mut heap = TopK::new(topk);
-    let mut stats = ScanStats { scanned: n as u64, ..ScanStats::default() };
+    let mut stats = ScanStats {
+        scanned: n as u64,
+        ..ScanStats::default()
+    };
     if n == 0 {
-        return ScanResult { neighbors: Vec::new(), stats };
+        return ScanResult {
+            neighbors: Vec::new(),
+            stats,
+        };
     }
 
     // Warm-up with exact distances.
@@ -45,7 +51,11 @@ pub fn scan_quantize_only(
     }
     stats.warmup = warm as u64;
 
-    let qmax = if heap.is_full() { heap.threshold() } else { tables.max_sum() };
+    let qmax = if heap.is_full() {
+        heap.threshold()
+    } else {
+        tables.max_sum()
+    };
     let quantizer = DistanceQuantizer::new(tables, qmax, bins);
 
     // Full quantized tables: m rows of ksub bytes.
@@ -74,7 +84,10 @@ pub fn scan_quantize_only(
         }
     }
 
-    ScanResult { neighbors: heap.into_sorted(), stats }
+    ScanResult {
+        neighbors: heap.into_sorted(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +111,13 @@ mod tests {
     #[test]
     fn returns_exact_same_results_as_naive() {
         let (tables, codes) = fixture(3000);
-        for (topk, keep) in [(1usize, 0.01), (10, 0.005), (100, 0.02), (10, 0.0), (10, 1.0)] {
+        for (topk, keep) in [
+            (1usize, 0.01),
+            (10, 0.005),
+            (100, 0.02),
+            (10, 0.0),
+            (10, 1.0),
+        ] {
             let a = scan_naive(&tables, &codes, topk);
             let b = scan_quantize_only(&tables, &codes, topk, keep, DEFAULT_BINS);
             assert_eq!(a.ids(), b.ids(), "topk={topk} keep={keep}");

@@ -65,14 +65,24 @@ mod tests {
 
     #[test]
     fn pruned_fraction_excludes_warmup() {
-        let stats = ScanStats { scanned: 1100, pruned: 900, verified: 100, warmup: 100 };
+        let stats = ScanStats {
+            scanned: 1100,
+            pruned: 900,
+            verified: 100,
+            warmup: 100,
+        };
         assert!((stats.pruned_fraction() - 0.9).abs() < 1e-12);
     }
 
     #[test]
     fn pruned_fraction_of_empty_scan_is_zero() {
         assert_eq!(ScanStats::default().pruned_fraction(), 0.0);
-        let all_warm = ScanStats { scanned: 10, pruned: 0, verified: 0, warmup: 10 };
+        let all_warm = ScanStats {
+            scanned: 10,
+            pruned: 0,
+            verified: 0,
+            warmup: 10,
+        };
         assert_eq!(all_warm.pruned_fraction(), 0.0);
     }
 

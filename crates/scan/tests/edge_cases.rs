@@ -26,7 +26,9 @@ fn assert_exact(codes: &RowMajorCodes, topk: usize, keep: f64, c: usize, tag: &s
     let tables = tables(7);
     let opts = FastScanOptions::default().with_group_components(c);
     let index = FastScanIndex::build(codes, &opts).unwrap();
-    let fast = index.scan(&tables, &ScanParams::new(topk).with_keep(keep)).unwrap();
+    let fast = index
+        .scan(&tables, &ScanParams::new(topk).with_keep(keep))
+        .unwrap();
     let slow = scan_naive(&tables, codes, topk);
     assert_eq!(fast.ids(), slow.ids(), "{tag}: ids");
     assert_eq!(fast.distances(), slow.distances(), "{tag}: distances");
@@ -98,11 +100,8 @@ fn two_distance_levels_with_ties_across_groups() {
 fn every_kernel_handles_the_empty_partition() {
     let empty = RowMajorCodes::new(vec![], M);
     for kernel in [Kernel::Auto, Kernel::Portable] {
-        let index = FastScanIndex::build(
-            &empty,
-            &FastScanOptions::default().with_kernel(kernel),
-        )
-        .unwrap();
+        let index =
+            FastScanIndex::build(&empty, &FastScanOptions::default().with_kernel(kernel)).unwrap();
         let r = index.scan(&tables(1), &ScanParams::new(5)).unwrap();
         assert!(r.neighbors.is_empty());
         assert_eq!(r.stats.scanned, 0);
@@ -119,7 +118,11 @@ fn zero_distance_tables() {
     let fast = index.scan(&tables, &ScanParams::new(10)).unwrap();
     let slow = scan_naive(&tables, &c, 10);
     assert_eq!(fast.ids(), slow.ids());
-    assert_eq!(fast.ids(), (0..10).collect::<Vec<u64>>(), "ties resolve by id");
+    assert_eq!(
+        fast.ids(),
+        (0..10).collect::<Vec<u64>>(),
+        "ties resolve by id"
+    );
 }
 
 #[test]
@@ -132,7 +135,9 @@ fn huge_distance_range_saturates_safely() {
     let tables = DistanceTables::from_raw(data, M, KSUB);
     let c = codes(500, 19);
     let index = FastScanIndex::build(&c, &FastScanOptions::default()).unwrap();
-    let fast = index.scan(&tables, &ScanParams::new(5).with_keep(0.01)).unwrap();
+    let fast = index
+        .scan(&tables, &ScanParams::new(5).with_keep(0.01))
+        .unwrap();
     let slow = scan_naive(&tables, &c, 5);
     assert_eq!(fast.ids(), slow.ids());
 }
@@ -141,12 +146,10 @@ fn huge_distance_range_saturates_safely() {
 fn explicit_bins_one_still_exact() {
     let c = codes(400, 23);
     let tables = tables(3);
-    let index = FastScanIndex::build(
-        &c,
-        &FastScanOptions::default().with_bins(1),
-    )
-    .unwrap();
-    let fast = index.scan(&tables, &ScanParams::new(10).with_keep(0.01)).unwrap();
+    let index = FastScanIndex::build(&c, &FastScanOptions::default().with_bins(1)).unwrap();
+    let fast = index
+        .scan(&tables, &ScanParams::new(10).with_keep(0.01))
+        .unwrap();
     assert_eq!(fast.ids(), scan_naive(&tables, &c, 10).ids());
 }
 

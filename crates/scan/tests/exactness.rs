@@ -3,12 +3,12 @@
 //! tables, code sets, `topk`, `keep`, grouping components, quantization bin
 //! counts and kernel back-ends.
 
-use proptest::prelude::*;
 use pqfs_core::{DistanceTables, RowMajorCodes, TransposedCodes};
 use pqfs_scan::{
     scan_avx, scan_gather, scan_libpq, scan_naive, scan_quantize_only, FastScanIndex,
     FastScanOptions, Kernel, ScanParams,
 };
+use proptest::prelude::*;
 
 const M: usize = 8;
 const KSUB: usize = 256;
@@ -19,11 +19,10 @@ fn arb_tables() -> impl Strategy<Value = DistanceTables> {
 }
 
 fn arb_codes(max_n: usize) -> impl Strategy<Value = RowMajorCodes> {
-    prop::collection::vec(any::<u8>(), 0..=max_n * M)
-        .prop_map(|mut bytes| {
-            bytes.truncate(bytes.len() / M * M);
-            RowMajorCodes::new(bytes, M)
-        })
+    prop::collection::vec(any::<u8>(), 0..=max_n * M).prop_map(|mut bytes| {
+        bytes.truncate(bytes.len() / M * M);
+        RowMajorCodes::new(bytes, M)
+    })
 }
 
 proptest! {
@@ -157,7 +156,9 @@ fn end_to_end_with_trained_pq() {
         .collect();
     let sample = |rng: &mut StdRng| -> Vec<f32> {
         let c = &centers[rng.gen_range(0..centers.len())];
-        c.iter().map(|&x| (x + rng.gen_range(-15.0f32..15.0)).clamp(0.0, 255.0)).collect()
+        c.iter()
+            .map(|&x| (x + rng.gen_range(-15.0f32..15.0)).clamp(0.0, 255.0))
+            .collect()
     };
 
     let train: Vec<f32> = (0..2000).flat_map(|_| sample(&mut rng)).collect();
@@ -173,7 +174,9 @@ fn end_to_end_with_trained_pq() {
     for q in 0..20 {
         let query = sample(&mut rng);
         let tables = DistanceTables::compute(&pq, &query).unwrap();
-        let fast = index.scan(&tables, &ScanParams::new(10).with_keep(0.01)).unwrap();
+        let fast = index
+            .scan(&tables, &ScanParams::new(10).with_keep(0.01))
+            .unwrap();
         let slow = scan_naive(&tables, &codes, 10);
         assert_eq!(fast.ids(), slow.ids(), "query {q}");
         assert_eq!(fast.distances(), slow.distances(), "query {q}");

@@ -5,9 +5,9 @@
 //! any candidate and any threshold. This is the property that makes PQ Fast
 //! Scan exact.
 
-use proptest::prelude::*;
 use pqfs_core::DistanceTables;
 use pqfs_scan::DistanceQuantizer;
+use proptest::prelude::*;
 
 const M: usize = 4;
 const KSUB: usize = 16;

@@ -24,18 +24,23 @@ fn main() {
     let partitions = 128; // the paper's SIFT1B index shape
 
     println!("== large-scale IVFADC (paper §5.7, scaled) ==");
-    println!("base: {} vectors, {} partitions", fmt_count(n_base as u64), partitions);
+    println!(
+        "base: {} vectors, {} partitions",
+        fmt_count(n_base as u64),
+        partitions
+    );
 
     let mut dataset = SyntheticDataset::new(
-        &SyntheticConfig::sift_like().with_clusters(1024).with_seed(31),
+        &SyntheticConfig::sift_like()
+            .with_clusters(1024)
+            .with_seed(31),
     );
     let train = dataset.sample(20_000);
     let base = dataset.sample(n_base);
     let queries = dataset.sample(n_queries);
 
     let config = IvfadcConfig::new(dim, partitions).with_seed(9);
-    let (index, build_ms) =
-        time_ms(|| IvfadcIndex::build(&train, &base, &config).expect("build"));
+    let (index, build_ms) = time_ms(|| IvfadcIndex::build(&train, &base, &config).expect("build"));
     let sizes = index.partition_sizes();
     println!(
         "built in {:.1} s; partition sizes: min {} / avg {} / max {}",
@@ -50,7 +55,10 @@ fn main() {
     let row = index.code_memory_bytes(SearchBackend::Naive);
     let packed = index.code_memory_bytes(SearchBackend::FastScan);
     println!("\ncode memory:");
-    println!("  PQ Scan (row-major)   {:>12} bytes", fmt_count(row as u64));
+    println!(
+        "  PQ Scan (row-major)   {:>12} bytes",
+        fmt_count(row as u64)
+    );
     println!(
         "  Fast Scan (grouped)   {:>12} bytes  ({:+.1} %)",
         fmt_count(packed as u64),
@@ -63,17 +71,22 @@ fn main() {
         let mut times = Vec::new();
         let mut scanned = 0u64;
         for q in queries.chunks_exact(dim) {
-            let (outcome, ms) =
-                time_ms(|| index.search(q, 100, backend, keep).expect("search"));
+            let (outcome, ms) = time_ms(|| index.search(q, 100, backend, keep).expect("search"));
             scanned += outcome.stats.scanned;
             times.push(ms);
         }
-        (Summary::from_values(&times), scanned as f64 / times.len() as f64)
+        (
+            Summary::from_values(&times),
+            scanned as f64 / times.len() as f64,
+        )
     };
 
     let (slow, avg_scanned) = run(SearchBackend::Naive, 0.0);
     let (fast, _) = run(SearchBackend::FastScan, 0.01);
-    println!("\nmean response time (avg partition scanned: {:.0} vectors):", avg_scanned);
+    println!(
+        "\nmean response time (avg partition scanned: {:.0} vectors):",
+        avg_scanned
+    );
     println!("  PQ Scan   {:.2} ms", slow.mean());
     println!("  Fast Scan {:.2} ms", fast.mean());
     println!("  speedup   {:.1}x", slow.mean() / fast.mean());

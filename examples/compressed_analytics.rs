@@ -74,5 +74,8 @@ fn main() {
         (approx.value - exact_mean).abs() <= approx.error_bound,
         "error bound must hold"
     );
-    println!("  |error| = {:.4} (within the guaranteed bound)", (approx.value - exact_mean).abs());
+    println!(
+        "  |error| = {:.4} (within the guaranteed bound)",
+        (approx.value - exact_mean).abs()
+    );
 }

@@ -25,7 +25,9 @@ fn main() {
 
     // Descriptor catalog: clustered, byte-range, SIFT-like.
     let mut dataset = SyntheticDataset::new(
-        &SyntheticConfig::sift_like().with_clusters(512).with_seed(2024),
+        &SyntheticConfig::sift_like()
+            .with_clusters(512)
+            .with_seed(2024),
     );
     let train = dataset.sample(8_000);
     let base = dataset.sample(n_images);
@@ -53,10 +55,16 @@ fn main() {
     let mut times_fast = Vec::new();
     let mut times_slow = Vec::new();
     for (qi, q) in queries.chunks_exact(dim).enumerate() {
-        let (fast, t_fast) =
-            time_ms(|| index.search(q, topk, SearchBackend::FastScan, 0.005).expect("search"));
-        let (slow, t_slow) =
-            time_ms(|| index.search(q, topk, SearchBackend::Naive, 0.0).expect("search"));
+        let (fast, t_fast) = time_ms(|| {
+            index
+                .search(q, topk, SearchBackend::FastScan, 0.005)
+                .expect("search")
+        });
+        let (slow, t_slow) = time_ms(|| {
+            index
+                .search(q, topk, SearchBackend::Naive, 0.0)
+                .expect("search")
+        });
         let ids = |o: &pq_fast_scan::ivf::SearchOutcome| {
             o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
         };
@@ -75,7 +83,15 @@ fn main() {
     let fast = Summary::from_values(&times_fast);
     let slow = Summary::from_values(&times_slow);
     println!("\nresponse time per query [ms]:");
-    println!("  PQ Scan   median {:.2}  (mean {:.2})", slow.median(), slow.mean());
-    println!("  Fast Scan median {:.2}  (mean {:.2})", fast.median(), fast.mean());
+    println!(
+        "  PQ Scan   median {:.2}  (mean {:.2})",
+        slow.median(),
+        slow.mean()
+    );
+    println!(
+        "  Fast Scan median {:.2}  (mean {:.2})",
+        fast.median(),
+        fast.mean()
+    );
     println!("  speedup   {:.1}x", slow.median() / fast.median());
 }

@@ -47,14 +47,22 @@ fn main() {
 
     let (fast, fast_ms) = pq_fast_scan::metrics::time_ms(|| index.scan(&tables, &params));
     let fast = fast.expect("scan");
-    let (slow, slow_ms) = pq_fast_scan::metrics::time_ms(|| scan_naive(&tables, &codes, 10));
+    // The reference backend comes from the same registry the CLI and the
+    // figure binaries use; every `Backend::ALL` entry returns this result.
+    let naive = Backend::Naive.scanner(&ScanOpts::default());
+    let (slow, slow_ms) =
+        pq_fast_scan::metrics::time_ms(|| naive.scan(&tables, &codes, 10).expect("scan"));
 
     println!("\ntop-10 neighbors (id, squared ADC distance):");
     for n in &fast.neighbors {
         println!("  {:>7}  {:.1}", n.id, n.dist);
     }
 
-    assert_eq!(fast.ids(), slow.ids(), "Fast Scan must equal PQ Scan exactly");
+    assert_eq!(
+        fast.ids(),
+        slow.ids(),
+        "Fast Scan must equal PQ Scan exactly"
+    );
     println!("\nexactness check vs naive PQ Scan: OK");
     println!(
         "pruning power: {:.2}% of distance computations skipped",

@@ -15,7 +15,8 @@
 //!
 //! * [`kmeans`] — clustering substrate (Lloyd + same-size k-means);
 //! * [`core`] — product quantization, ADC distance tables, layouts, top-k;
-//! * [`scan`] — PQ Scan baselines and [`FastScanIndex`];
+//! * [`scan`] — PQ Scan baselines, [`FastScanIndex`], and the
+//!   [`Backend`](scan::Backend) registry every implementation sits behind;
 //! * [`ivf`] — the IVFADC indexed-search pipeline;
 //! * [`data`] — synthetic SIFT-like datasets, TEXMEX file IO, ground truth;
 //! * [`metrics`] — statistics, recall, counter and cost models;
@@ -38,14 +39,16 @@
 //! pq.optimize_assignment(16, 42).unwrap();
 //! let codes = pq.encode_batch(&base).unwrap();
 //!
-//! // Build the Fast Scan index and run a query.
-//! let index = FastScanIndex::build(&codes, &FastScanOptions::default()).unwrap();
+//! // Pick backends from the registry and run a query: Fast Scan returns
+//! // exactly what the naive PQ Scan reference returns.
 //! let query = dataset.sample(1);
 //! let tables = DistanceTables::compute(&pq, &query).unwrap();
-//! let result = index.scan(&tables, &ScanParams::new(10)).unwrap();
+//! let opts = ScanOpts::default();
+//! let result = Backend::FastScan.scanner(&opts).scan(&tables, &codes, 10).unwrap();
+//! let reference = Backend::Naive.scanner(&opts).scan(&tables, &codes, 10).unwrap();
 //!
 //! assert_eq!(result.neighbors.len(), 10);
-//! assert_eq!(result.ids(), scan_naive(&tables, &codes, 10).ids());
+//! assert_eq!(result.ids(), reference.ids());
 //! ```
 
 pub use pqfs_columnar as columnar;
@@ -60,15 +63,15 @@ pub use pqfs_scan as scan;
 pub mod prelude {
     pub use pqfs_columnar::{approximate_mean, topk_max_fast, CompressedColumn};
     pub use pqfs_core::{
-        DistanceTables, Neighbor, PqConfig, ProductQuantizer, RowMajorCodes, TopK,
-        TransposedCodes,
+        DistanceTables, Neighbor, PqConfig, ProductQuantizer, RowMajorCodes, TopK, TransposedCodes,
     };
     pub use pqfs_data::{exact_knn, SyntheticConfig, SyntheticDataset};
     pub use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
     pub use pqfs_kmeans::{KMeans, KMeansConfig};
     pub use pqfs_metrics::{mvecs_per_sec, Summary};
     pub use pqfs_scan::{
-        scan_avx, scan_gather, scan_libpq, scan_naive, scan_quantize_only, FastScanIndex,
-        FastScanOptions, Kernel, ScanParams, ScanResult, ScanStats,
+        scan_avx, scan_gather, scan_libpq, scan_naive, scan_quantize_only, Backend, FastScanIndex,
+        FastScanOptions, Kernel, PreparedScanner, ScanOpts, ScanParams, ScanResult, ScanStats,
+        Scanner,
     };
 }

@@ -8,7 +8,10 @@ const DIM: usize = 32;
 
 fn dataset(seed: u64) -> SyntheticDataset {
     SyntheticDataset::new(
-        &SyntheticConfig::sift_like().with_dim(DIM).with_clusters(64).with_seed(seed),
+        &SyntheticConfig::sift_like()
+            .with_dim(DIM)
+            .with_clusters(64)
+            .with_seed(seed),
     )
 }
 
@@ -24,12 +27,15 @@ fn full_pipeline_fastscan_equals_pqscan_and_finds_true_neighbors() {
     let codes = pq.encode_batch(&base).unwrap();
     let index = FastScanIndex::build(&codes, &FastScanOptions::default()).unwrap();
 
+    let naive = Backend::Naive.scanner(&ScanOpts::default());
     let mut recall_hits = 0usize;
     let mut pruned_total = 0.0;
     for q in queries.chunks_exact(DIM) {
         let tables = DistanceTables::compute(&pq, q).unwrap();
-        let fast = index.scan(&tables, &ScanParams::new(100).with_keep(0.01)).unwrap();
-        let slow = scan_naive(&tables, &codes, 100);
+        let fast = index
+            .scan(&tables, &ScanParams::new(100).with_keep(0.01))
+            .unwrap();
+        let slow = naive.scan(&tables, &codes, 100).unwrap();
         assert_eq!(fast.ids(), slow.ids());
         assert_eq!(fast.distances(), slow.distances());
         pruned_total += fast.stats.pruned_fraction();
@@ -43,7 +49,44 @@ fn full_pipeline_fastscan_equals_pqscan_and_finds_true_neighbors() {
     }
     assert!(recall_hits >= 12, "recall@100 too low: {recall_hits}/15");
     let avg_pruned = pruned_total / 15.0;
-    assert!(avg_pruned > 0.5, "average pruning power {avg_pruned:.3} too low");
+    assert!(
+        avg_pruned > 0.5,
+        "average pruning power {avg_pruned:.3} too low"
+    );
+}
+
+/// The paper's §5 exactness guarantee as one table-driven test: every
+/// backend in the registry returns the identical top-k set on a seeded
+/// synthetic dataset.
+#[test]
+fn every_backend_returns_the_identical_topk_set() {
+    let mut gen = dataset(61);
+    let train = gen.sample(3_000);
+    let base = gen.sample(20_000);
+    let queries = gen.sample(10);
+
+    let mut pq = ProductQuantizer::train(&train, &PqConfig::pq8x8(DIM), 9).unwrap();
+    pq.optimize_assignment(16, 9).unwrap();
+    let codes = pq.encode_batch(&base).unwrap();
+
+    let opts = ScanOpts::default().with_keep(0.01);
+    for (qi, q) in queries.chunks_exact(DIM).enumerate() {
+        let tables = DistanceTables::compute(&pq, q).unwrap();
+        let reference = Backend::Naive
+            .scanner(&opts)
+            .scan(&tables, &codes, 100)
+            .unwrap();
+        for backend in Backend::ALL {
+            let scanner = backend.scanner(&opts);
+            assert_eq!(scanner.name(), backend.name());
+            let result = scanner.scan(&tables, &codes, 100).unwrap();
+            assert_eq!(
+                result.ids(),
+                reference.ids(),
+                "backend '{backend}' diverged from naive on query {qi}"
+            );
+        }
+    }
 }
 
 #[test]
@@ -53,25 +96,25 @@ fn ivfadc_backends_agree_and_route_queries() {
     let base = gen.sample(8_000);
     let queries = gen.sample(10);
 
-    let index = IvfadcIndex::build(
-        &train,
-        &base,
-        &IvfadcConfig::new(DIM, 8).with_seed(17),
-    )
-    .unwrap();
+    // Prepare the full registry, so the agreement check covers all six
+    // backends through the IVFADC pipeline too.
+    let config = IvfadcConfig::new(DIM, 8)
+        .with_seed(17)
+        .with_backends(SearchBackend::ALL.to_vec());
+    let index = IvfadcIndex::build(&train, &base, &config).unwrap();
     assert_eq!(index.len(), 8_000);
     assert_eq!(index.partition_sizes().len(), 8);
 
     for q in queries.chunks_exact(DIM) {
-        let naive = index.search(q, 50, SearchBackend::Naive, 0.0).unwrap();
-        let libpq = index.search(q, 50, SearchBackend::Libpq, 0.0).unwrap();
-        let fast = index.search(q, 50, SearchBackend::FastScan, 0.01).unwrap();
         let ids = |o: &pq_fast_scan::ivf::SearchOutcome| {
             o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
         };
-        assert_eq!(ids(&naive), ids(&libpq));
-        assert_eq!(ids(&naive), ids(&fast));
-        assert_eq!(naive.partition, index.select_partition(q));
+        let naive = index.search(q, 50, SearchBackend::Naive, 0.0).unwrap();
+        for backend in SearchBackend::ALL {
+            let other = index.search(q, 50, backend, 0.01).unwrap();
+            assert_eq!(ids(&naive), ids(&other), "backend '{backend}'");
+            assert_eq!(other.partition, index.select_partition(q));
+        }
     }
 }
 
@@ -123,7 +166,9 @@ fn optimized_assignment_tightens_minimum_tables() {
         let mut total = 0.0;
         for q in queries.chunks_exact(DIM) {
             let tables = DistanceTables::compute(pq, q).unwrap();
-            let r = index.scan(&tables, &ScanParams::new(100).with_keep(0.01)).unwrap();
+            let r = index
+                .scan(&tables, &ScanParams::new(100).with_keep(0.01))
+                .unwrap();
             total += r.stats.pruned_fraction();
         }
         total / 20.0

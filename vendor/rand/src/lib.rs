@@ -1,0 +1,272 @@
+//! Offline drop-in replacement for the subset of the [`rand` crate] API this
+//! workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] extension methods `gen_range`, `gen_bool` and `gen_ratio`.
+//!
+//! The build environment has no network access, so the real crates.io `rand`
+//! cannot be fetched; this crate keeps the same import paths so swapping the
+//! real dependency back in is a one-line `Cargo.toml` change. The generator
+//! is xoshiro256++ seeded through SplitMix64 — not `rand`'s ChaCha12, so
+//! streams differ from upstream for the same seed, but every use in the
+//! workspace only relies on determinism per seed and uniformity, not on the
+//! exact stream.
+//!
+//! [`rand` crate]: https://crates.io/crates/rand
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A range that can produce a uniformly distributed sample.
+///
+/// Implemented for `Range` and `RangeInclusive` over the primitive integer
+/// and float types, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// User-facing extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool requires p in [0, 1], got {p}"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator == 0` or `numerator > denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio denominator must be positive");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio requires numerator <= denominator ({numerator} > {denominator})"
+        );
+        self.gen_range(0..denominator) < numerator
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// `f64` uniform in `[0, 1)` from the top 53 bits of a word.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// `f32` uniform in `[0, 1)` from the top 24 bits of a word.
+#[inline]
+fn unit_f32(word: u64) -> f32 {
+    (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Primitive types with a uniform sampling procedure. The single generic
+/// [`SampleRange`] impl below routes through this trait so type inference can
+/// flow from the usage site into the range literal (as with `rand`'s
+/// `SampleUniform`): `c[0] + rng.gen_range(-2.0..2.0)` infers `f32` ranges.
+pub trait UniformSampled: Copy + PartialOrd {
+    /// A uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// A uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: UniformSampled> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: UniformSampled> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! int_uniform_sampled {
+    ($($t:ty),*) => {$(
+        impl UniformSampled for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform_sampled!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform_sampled {
+    ($($t:ty => $unit:ident),*) => {$(
+        impl UniformSampled for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let sample = lo + (hi - lo) * $unit(rng.next_u64());
+                // Guard against `hi` being reached through rounding.
+                if sample >= hi { lo } else { sample }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                lo + (hi - lo) * $unit(rng.next_u64())
+            }
+        }
+    )*};
+}
+
+float_uniform_sampled!(f32 => unit_f32, f64 => unit_f64);
+
+pub mod rngs {
+    //! Concrete generators, mirroring `rand::rngs`.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Statistically strong for simulation/test workloads; **not**
+    /// cryptographically secure (neither use exists in this workspace).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure for
+            // xoshiro: guarantees a non-zero state for every seed.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u32..1000) == b.gen_range(0u32..1000))
+            .count();
+        assert!(same < 16, "streams should diverge, {same}/64 collisions");
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-3.0f32..3.0);
+            assert!((-3.0..3.0).contains(&x));
+            let y = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&y));
+            let z = rng.gen_range(0.0f32..=255.0);
+            assert!((0.0..=255.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!(
+                (9_000..11_000).contains(&b),
+                "bucket count {b} far from 10k"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_and_ratio_match_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (23_000..27_000).contains(&hits),
+            "gen_bool(0.25) hit {hits}/100k"
+        );
+        let hits = (0..100_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!(
+            (23_000..27_000).contains(&hits),
+            "gen_ratio(1,4) hit {hits}/100k"
+        );
+    }
+}
