@@ -1,0 +1,50 @@
+//! Criterion benchmark of batch-query throughput versus pool size.
+//!
+//! Measures `IvfadcIndex::search_batch_on` — the paper's §3.1 "parallelizes
+//! naturally over multiple queries" path — on explicit [`ThreadPool`]s of
+//! 1, 2, 4 and 8 threads, so the parallel-efficiency trajectory is visible
+//! from one run. The single-probe and multi-probe (`nprobe = 4`) variants
+//! are timed separately: the latter exercises the intra-query fan-out of
+//! `search_probes` on the same pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pqfs_bench::{synthetic_index, DIM};
+use pqfs_ivf::SearchBackend;
+use pqfs_pool::ThreadPool;
+
+const QUERIES: usize = 64;
+
+fn bench_batch_qps(c: &mut Criterion) {
+    let (index, queries) = synthetic_index(20_000, 8, QUERIES, 42);
+
+    let mut group = c.benchmark_group("batch_qps");
+    group
+        .sample_size(10)
+        .throughput(Throughput::Elements(QUERIES as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_function(BenchmarkId::new("search_batch", threads), |b| {
+            b.iter(|| {
+                index
+                    .search_batch_on(&queries, 100, SearchBackend::FastScan, 0.005, &pool)
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("search_probes_x4", threads), |b| {
+            b.iter(|| {
+                queries
+                    .chunks_exact(DIM)
+                    .map(|q| {
+                        index
+                            .search_probes_on(q, 100, SearchBackend::FastScan, 0.005, 4, &pool)
+                            .unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_qps);
+criterion_main!(benches);

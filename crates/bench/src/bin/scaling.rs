@@ -1,0 +1,89 @@
+//! Parallel-scaling harness: batch-query throughput versus pool size,
+//! emitted as JSON so future PRs can track the parallel-efficiency
+//! trajectory over time.
+//!
+//! Builds a synthetic IVFADC index (default 100 000 vectors — override with
+//! `PQFS_N`), then answers the same query batch through
+//! `IvfadcIndex::search_batch_on` on explicit thread pools of 1, 2, 4 and 8
+//! threads, reporting queries/second and the speedup over the single-thread
+//! run. Results are bit-identical across pool sizes (asserted here on the
+//! neighbor ids of every query), so the sweep measures pure executor
+//! overhead and scaling, never result drift.
+//!
+//! Environment: `PQFS_N` (base vectors), `PQFS_QUERIES` (batch size),
+//! `PQFS_REPS` (timed repetitions; the median is reported).
+
+use pqfs_bench::{env_usize, header, synthetic_index};
+use pqfs_ivf::SearchBackend;
+use pqfs_metrics::{fmt_count, measure_ms, Summary};
+use pqfs_pool::ThreadPool;
+use pqfs_scan::ScanStats;
+
+fn main() {
+    let n = env_usize("PQFS_N", 100_000);
+    let queries_n = env_usize("PQFS_QUERIES", 256);
+    let reps = env_usize("PQFS_REPS", 5);
+    let partitions = 8;
+    let backend = SearchBackend::FastScan;
+
+    header(
+        "scaling",
+        "§3.1 (inter-query parallelism)",
+        &format!("n={n} queries={queries_n} partitions={partitions} backend={backend}"),
+    );
+
+    let (index, queries) = synthetic_index(n, partitions, queries_n, 7);
+    println!(
+        "index ready: {} vectors, host reports {} cores\n",
+        fmt_count(index.len() as u64),
+        std::thread::available_parallelism().map_or(1, |c| c.get())
+    );
+
+    let reference: Option<Vec<Vec<u64>>> = None;
+    let mut reference = reference;
+    let mut rows = Vec::new();
+    let mut baseline_qps = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        let outcomes = index
+            .search_batch_on(&queries, 100, backend, 0.005, &pool)
+            .expect("search_batch");
+        // Scaling must never buy result drift: every pool size returns the
+        // exact ids the 1-thread run returned.
+        let ids: Vec<Vec<u64>> = outcomes
+            .iter()
+            .map(|o| o.neighbors.iter().map(|n| n.id).collect())
+            .collect();
+        match &reference {
+            None => reference = Some(ids),
+            Some(expect) => assert_eq!(expect, &ids, "results drifted at {threads} threads"),
+        }
+        let mut stats = ScanStats::default();
+        for o in &outcomes {
+            stats.merge(&o.stats);
+        }
+        let ms = Summary::from_values(&measure_ms(reps, || {
+            index
+                .search_batch_on(&queries, 100, backend, 0.005, &pool)
+                .expect("search_batch")
+        }))
+        .median();
+        let qps = queries_n as f64 / (ms / 1e3);
+        if threads == 1 {
+            baseline_qps = qps;
+        }
+        let speedup = qps / baseline_qps;
+        println!(
+            "threads {threads}: {ms:>8.1} ms | {qps:>8.0} queries/s | speedup {speedup:.2}x | pruned {:.1}%",
+            100.0 * stats.pruned_fraction()
+        );
+        rows.push(format!(
+            "{{\"threads\":{threads},\"qps\":{qps:.1},\"speedup\":{speedup:.3}}}"
+        ));
+    }
+
+    println!(
+        "\n{{\"experiment\":\"scaling\",\"vectors\":{n},\"queries\":{queries_n},\"backend\":\"{backend}\",\"results\":[{}]}}",
+        rows.join(",")
+    );
+}

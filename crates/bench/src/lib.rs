@@ -14,6 +14,7 @@
 
 use pqfs_core::{DistanceTables, PqConfig, ProductQuantizer, RowMajorCodes};
 use pqfs_data::{SyntheticConfig, SyntheticDataset};
+use pqfs_ivf::{IvfadcConfig, IvfadcIndex};
 
 /// SIFT dimensionality used throughout the evaluation.
 pub const DIM: usize = 128;
@@ -85,15 +86,11 @@ impl Fixture {
         Fixture { pq, dataset }
     }
 
-    /// Encodes a fresh partition of `n` vectors (parallel across cores).
+    /// Encodes a fresh partition of `n` vectors (parallel on the shared
+    /// pool).
     pub fn partition(&mut self, n: usize) -> RowMajorCodes {
         let base = self.dataset.sample(n);
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1);
-        self.pq
-            .encode_batch_parallel(&base, threads)
-            .expect("encode")
+        self.pq.encode_batch_parallel(&base).expect("encode")
     }
 
     /// Draws `count` fresh queries (row-major).
@@ -105,6 +102,30 @@ impl Fixture {
     pub fn tables(&self, query: &[f32]) -> DistanceTables {
         DistanceTables::compute(&self.pq, query).expect("tables")
     }
+}
+
+/// Builds a self-contained synthetic IVFADC index for the parallel-scaling
+/// harnesses (`scaling` bin, `batch_qps` bench): `n` SIFT-like 128-d base
+/// vectors over `partitions` cells, plus `queries` query vectors drawn from
+/// the same distribution.
+pub fn synthetic_index(
+    n: usize,
+    partitions: usize,
+    queries: usize,
+    seed: u64,
+) -> (IvfadcIndex, Vec<f32>) {
+    let config = SyntheticConfig::sift_like().with_seed(seed);
+    let mut dataset = SyntheticDataset::new(&config);
+    let train = dataset.sample(10_000.min(n.max(2_000)));
+    let base = dataset.sample(n);
+    let index = IvfadcIndex::build(
+        &train,
+        &base,
+        &IvfadcConfig::new(DIM, partitions).with_seed(seed),
+    )
+    .expect("synthetic index build");
+    let queries = dataset.sample(queries);
+    (index, queries)
 }
 
 /// Prints the standard experiment header.

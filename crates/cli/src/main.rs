@@ -4,13 +4,17 @@
 //! pqfs gen     --out base.fvecs --n 100000 [--dim 128] [--seed 0]
 //! pqfs build   --base base.fvecs --out index.pqiv [--train train.fvecs]
 //!              [--partitions 8] [--seed 0] [--backends naive,libpq,fastscan]
+//!              [--threads N]
 //! pqfs info    --index index.pqiv
 //! pqfs query   --index index.pqiv --queries q.fvecs [--topk 100]
 //!              [--backend <name>] [--keep 0.005] [--nprobe 1]
+//!              [--batch true] [--threads N]
 //! ```
 //!
 //! `--backend` accepts any name from the scan registry (`pqfs query` run
-//! with an unknown name lists them).
+//! with an unknown name lists them). `--threads` caps the shared worker
+//! pool that build encoding, multi-probe search, and `--batch true` query
+//! execution run on (default: all cores, or `PQFS_THREADS`).
 //!
 //! Vector files use the TEXMEX `.fvecs` format (ANN_SIFT1B's float format),
 //! so the real corpus drops in directly.
@@ -37,6 +41,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = apply_threads(&args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match command.as_str() {
         "gen" => cmd_gen(&args),
         "build" => cmd_build(&args),
@@ -67,14 +75,37 @@ USAGE:
   pqfs gen    --out <file.fvecs> --n <count> [--dim 128] [--seed 0]
   pqfs build  --base <file.fvecs> --out <index.pqiv>
               [--train <file.fvecs>] [--partitions 8] [--seed 0]
-              [--backends <name,name,...>]
+              [--backends <name,name,...>] [--threads N]
   pqfs info   --index <index.pqiv>
   pqfs query  --index <index.pqiv> --queries <file.fvecs> [--topk 100]
               [--backend <name>] [--keep 0.005] [--nprobe 1]
+              [--batch true] [--threads N]
+
+  --threads N  size of the shared worker pool used by build encoding,
+               multi-probe (--nprobe > 1) and batch (--batch true) queries.
+               Defaults to all cores; the PQFS_THREADS environment variable
+               sets the same limit.
+  --batch true answer all queries as one parallel batch and report
+               aggregate throughput instead of per-query latency.
 
 BACKENDS: {}",
         SearchBackend::names()
     )
+}
+
+/// Applies `--threads N` by exporting `PQFS_THREADS` before the lazily
+/// created global pool first reads it (nothing touches the pool before
+/// command dispatch).
+fn apply_threads(args: &Args) -> Result<(), String> {
+    if let Some(v) = args.get("threads") {
+        let n: usize = v
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--threads expects a positive integer, got '{v}'"))?;
+        std::env::set_var("PQFS_THREADS", n.to_string());
+    }
+    Ok(())
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -133,8 +164,9 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     };
 
     println!(
-        "building: {} base vectors, dim {dim}, {partitions} partitions",
-        fmt_count(base.len() as u64)
+        "building: {} base vectors, dim {dim}, {partitions} partitions, {} threads",
+        fmt_count(base.len() as u64),
+        pqfs_pool::ThreadPool::global().threads()
     );
     let mut config = IvfadcConfig::new(dim, partitions).with_seed(seed);
     if let Some(spec) = args.get("backends") {
@@ -211,6 +243,10 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         ));
     }
 
+    if args.get("batch").map(String::as_str) == Some("true") {
+        return query_batch(&index, &queries.data, topk, backend, keep, nprobe);
+    }
+
     let mut times = Vec::new();
     for (qi, q) in queries.data.chunks_exact(queries.dim).enumerate() {
         let (outcome, ms) = time_ms(|| {
@@ -246,5 +282,46 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             s.percentile(95.0)
         );
     }
+    Ok(())
+}
+
+/// `pqfs query --batch true`: answer every query as one parallel batch on
+/// the shared pool and report aggregate throughput.
+fn query_batch(
+    index: &IvfadcIndex,
+    queries: &[f32],
+    topk: usize,
+    backend: SearchBackend,
+    keep: f64,
+    nprobe: usize,
+) -> Result<(), String> {
+    let dim = index.coarse().dim();
+    let n = queries.len() / dim;
+    let pool = pqfs_pool::ThreadPool::global();
+    let (outcomes, ms) = time_ms(|| {
+        if nprobe > 1 {
+            // Multi-probe has no batch entry point; each query fans its
+            // probes across the same pool instead.
+            queries
+                .chunks_exact(dim)
+                .map(|q| index.search_probes(q, topk, backend, keep, nprobe))
+                .collect::<Result<Vec<_>, _>>()
+        } else {
+            index.search_batch(queries, topk, backend, keep)
+        }
+    });
+    let outcomes = outcomes.map_err(|e| e.to_string())?;
+    let mut stats = pqfs_scan::ScanStats::default();
+    for o in &outcomes {
+        stats.merge(&o.stats);
+    }
+    println!(
+        "batch: {} queries | {} threads | {:.1} ms total | {:.0} queries/s | pruned {:.1}%",
+        fmt_count(n as u64),
+        pool.threads(),
+        ms,
+        n as f64 / (ms / 1e3),
+        100.0 * stats.pruned_fraction()
+    );
     Ok(())
 }

@@ -149,18 +149,31 @@ impl ProductQuantizer {
         Ok(RowMajorCodes::new(codes, m))
     }
 
-    /// Encodes a row-major batch across `threads` OS threads (encoding is
-    /// embarrassingly parallel and dominates index-build time).
+    /// Encodes a row-major batch on the global [`pqfs_pool::ThreadPool`]
+    /// (encoding is embarrassingly parallel and dominates index-build
+    /// time).
     ///
-    /// Results are identical to [`encode_batch`](Self::encode_batch).
+    /// Results are identical to [`encode_batch`](Self::encode_batch): every
+    /// row is encoded independently and written to its own output slot, so
+    /// neither thread count nor scheduling affects the codes.
     ///
     /// # Errors
     ///
     /// [`PqError::DimMismatch`] if `data` is not a multiple of `dim`.
-    pub fn encode_batch_parallel(
+    pub fn encode_batch_parallel(&self, data: &[f32]) -> Result<RowMajorCodes, PqError> {
+        self.encode_batch_parallel_on(data, pqfs_pool::ThreadPool::global())
+    }
+
+    /// [`encode_batch_parallel`](Self::encode_batch_parallel) on a specific
+    /// pool (tests and callers that manage their own pool sizing).
+    ///
+    /// # Errors
+    ///
+    /// [`PqError::DimMismatch`] if `data` is not a multiple of `dim`.
+    pub fn encode_batch_parallel_on(
         &self,
         data: &[f32],
-        threads: usize,
+        pool: &pqfs_pool::ThreadPool,
     ) -> Result<RowMajorCodes, PqError> {
         let dim = self.config.dim();
         if data.len() % dim != 0 {
@@ -171,32 +184,19 @@ impl ProductQuantizer {
         }
         let n = data.len() / dim;
         let m = self.config.m();
-        let threads = threads.max(1).min(n.max(1));
-        if threads <= 1 || n < 1024 {
+        if pool.threads() <= 1 || n < 1024 {
             return self.encode_batch(data);
         }
+        // Small fixed chunks let the pool's work-stealing balance the load;
+        // the chunk size is a multiple of `m`, so every chunk covers whole
+        // rows.
+        const CHUNK_ROWS: usize = 256;
         let mut codes = vec![0u8; n * m];
-        let rows_per_chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut remaining_out = codes.as_mut_slice();
-            let mut remaining_in = data;
-            for _ in 0..threads {
-                let rows = rows_per_chunk.min(remaining_out.len() / m);
-                if rows == 0 {
-                    break;
-                }
-                let (out_chunk, rest_out) = remaining_out.split_at_mut(rows * m);
-                let (in_chunk, rest_in) = remaining_in.split_at(rows * dim);
-                remaining_out = rest_out;
-                remaining_in = rest_in;
-                scope.spawn(move || {
-                    for (v, code) in in_chunk
-                        .chunks_exact(dim)
-                        .zip(out_chunk.chunks_exact_mut(m))
-                    {
-                        self.encode_into(v, code);
-                    }
-                });
+        pool.for_each_chunk(&mut codes, CHUNK_ROWS * m, |offset, out| {
+            let first_row = offset / m;
+            for (k, code) in out.chunks_exact_mut(m).enumerate() {
+                let i = first_row + k;
+                self.encode_into(&data[i * dim..(i + 1) * dim], code);
             }
         });
         Ok(RowMajorCodes::new(codes, m))
@@ -334,6 +334,20 @@ mod tests {
             assert_eq!(codes.code(i), pq.encode(v).as_slice());
         }
         assert_eq!(codes.len(), 20);
+    }
+
+    #[test]
+    fn encode_batch_parallel_is_bit_identical_to_serial() {
+        let (pq, _) = small_pq();
+        let data = training_data(3000, 16, 9);
+        let serial = pq.encode_batch(&data).unwrap();
+        for threads in [1usize, 2, 8] {
+            let pool = pqfs_pool::ThreadPool::new(threads);
+            let parallel = pq.encode_batch_parallel_on(&data, &pool).unwrap();
+            assert_eq!(parallel.as_bytes(), serial.as_bytes(), "{threads} threads");
+        }
+        let global = pq.encode_batch_parallel(&data).unwrap();
+        assert_eq!(global.as_bytes(), serial.as_bytes());
     }
 
     #[test]

@@ -25,6 +25,25 @@ impl DistanceTables {
     ///
     /// [`PqError::DimMismatch`] if the query dimensionality is wrong.
     pub fn compute(pq: &ProductQuantizer, query: &[f32]) -> Result<Self, PqError> {
+        let mut tables = DistanceTables {
+            data: Vec::new(),
+            m: 0,
+            ksub: 0,
+        };
+        tables.recompute(pq, query)?;
+        Ok(tables)
+    }
+
+    /// Recomputes the tables for a new query in place, reusing the existing
+    /// storage (the hot batch-query path keeps one `DistanceTables` per
+    /// worker thread and recomputes it per query instead of allocating).
+    /// The tables take the quantizer's shape; any previous shape is
+    /// overwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`PqError::DimMismatch`] if the query dimensionality is wrong.
+    pub fn recompute(&mut self, pq: &ProductQuantizer, query: &[f32]) -> Result<(), PqError> {
         let dim = pq.config().dim();
         if query.len() != dim {
             return Err(PqError::DimMismatch {
@@ -32,17 +51,27 @@ impl DistanceTables {
                 actual: query.len(),
             });
         }
-        let m = pq.config().m();
-        let ksub = pq.config().ksub();
+        self.m = pq.config().m();
+        self.ksub = pq.config().ksub();
         let dsub = pq.config().dsub();
-        let mut data = vec![0f32; m * ksub];
-        for j in 0..m {
+        self.data.resize(self.m * self.ksub, 0.0);
+        for j in 0..self.m {
             pq.codebook(j).distances(
                 &query[j * dsub..(j + 1) * dsub],
-                &mut data[j * ksub..(j + 1) * ksub],
+                &mut self.data[j * self.ksub..(j + 1) * self.ksub],
             );
         }
-        Ok(DistanceTables { data, m, ksub })
+        Ok(())
+    }
+
+    /// An empty placeholder (`m = 0`) for scratch that is filled by
+    /// [`recompute`](Self::recompute) before first use.
+    pub fn placeholder() -> Self {
+        DistanceTables {
+            data: Vec::new(),
+            m: 0,
+            ksub: 0,
+        }
     }
 
     /// Wraps raw tables (tests / serialization).
@@ -199,6 +228,27 @@ mod tests {
         let code = vec![3u8, 7, 11, 15];
         let d = tables.distance(&code);
         assert!(d >= tables.sum_of_mins() && d <= tables.max_sum());
+    }
+
+    #[test]
+    fn recompute_reuses_storage_and_matches_compute() {
+        let (pq, _, query) = fixture();
+        let fresh = DistanceTables::compute(&pq, &query).unwrap();
+        let mut reused = DistanceTables::placeholder();
+        assert_eq!(reused.m(), 0);
+        reused.recompute(&pq, &query).unwrap();
+        assert_eq!(reused.raw(), fresh.raw());
+        assert_eq!(reused.m(), fresh.m());
+        assert_eq!(reused.ksub(), fresh.ksub());
+        // Recomputing for a second query fully overwrites the first.
+        let query2: Vec<f32> = query.iter().map(|&x| x + 1.0).collect();
+        reused.recompute(&pq, &query2).unwrap();
+        let fresh2 = DistanceTables::compute(&pq, &query2).unwrap();
+        assert_eq!(reused.raw(), fresh2.raw());
+        // Errors leave the scratch usable.
+        assert!(reused.recompute(&pq, &[0.0; 3]).is_err());
+        reused.recompute(&pq, &query).unwrap();
+        assert_eq!(reused.raw(), fresh.raw());
     }
 
     #[test]

@@ -4,8 +4,30 @@
 use crate::coarse::CoarseQuantizer;
 use crate::IvfError;
 use pqfs_core::{DistanceTables, Neighbor, PqConfig, ProductQuantizer, RowMajorCodes};
-use pqfs_scan::{PreparedScanner, ScanError, ScanOpts, ScanParams, ScanResult, ScanStats};
+use pqfs_pool::ThreadPool;
+use pqfs_scan::{
+    PreparedScanner, ScanError, ScanOpts, ScanParams, ScanResult, ScanScratch, ScanStats,
+};
+use std::cell::RefCell;
 use std::sync::Arc;
+
+/// Per-thread query state reused across queries: the residual buffer, the
+/// distance tables of Algorithm 1's step 2, and the Fast Scan quantized
+/// table buffers. One instance lives in each pool worker (and the caller),
+/// so steady-state query execution performs no table/buffer allocation.
+struct QueryScratch {
+    residual: Vec<f32>,
+    tables: DistanceTables,
+    scan: ScanScratch,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch {
+        residual: Vec::new(),
+        tables: DistanceTables::placeholder(),
+        scan: ScanScratch::default(),
+    });
+}
 
 /// Which scan implementation answers queries: the `pqfs-scan` backend
 /// registry, re-exported. Any [`SearchBackend::ALL`] member listed in
@@ -192,30 +214,41 @@ impl IvfadcIndex {
             pq.optimize_assignment(16, config.seed ^ 0x79B9)?;
         }
 
-        // Stage 3: encode the base set into inverted lists.
+        // Stage 3: encode the base set into inverted lists, on the shared
+        // pool. Coarse assignment is row-independent; list membership is
+        // derived from it serially (cheap) so insertion order — and with it
+        // the stored ids — is identical to a sequential build.
+        let pool = ThreadPool::global();
+        let rows: Vec<&[f32]> = base.chunks_exact(dim).collect();
+        let assignment = pool.parallel_map(&rows, |_, v| coarse.assign(v));
         let mut members: Vec<Vec<u64>> = vec![Vec::new(); config.partitions];
-        let mut assignment = Vec::with_capacity(base.len() / dim);
-        for (i, v) in base.chunks_exact(dim).enumerate() {
-            let p = coarse.assign(v);
+        for (i, &p) in assignment.iter().enumerate() {
             members[p].push(i as u64);
-            assignment.push(p);
         }
         let m = config.pq.m();
-        let mut partitions = Vec::with_capacity(config.partitions);
-        let mut residual = vec![0f32; dim];
-        for (p, ids) in members.into_iter().enumerate() {
+        // Each partition encodes its residuals and prepares its backends as
+        // one task; partitions are mutually independent.
+        let mut member_lists: Vec<(usize, Vec<u64>)> = members.into_iter().enumerate().collect();
+        let built = pool.parallel_map_mut(&mut member_lists, |_, entry| {
+            let (p, ids) = entry;
+            let ids = std::mem::take(ids);
+            let mut residual = vec![0f32; dim];
             let mut codes = vec![0u8; ids.len() * m];
             for (slot, &id) in ids.iter().enumerate() {
                 let v = &base[id as usize * dim..(id as usize + 1) * dim];
-                coarse.residual_into(v, p, &mut residual);
+                coarse.residual_into(v, *p, &mut residual);
                 pq.encode_into(&residual, &mut codes[slot * m..(slot + 1) * m]);
             }
-            partitions.push(Partition::build(
+            Partition::build(
                 ids,
                 RowMajorCodes::new(codes, m),
                 &config.backends,
                 &config.scan,
-            )?);
+            )
+        });
+        let mut partitions = Vec::with_capacity(config.partitions);
+        for partition in built {
+            partitions.push(partition?);
         }
 
         Ok(IvfadcIndex {
@@ -265,6 +298,11 @@ impl IvfadcIndex {
     /// the original IVFADC \[14\], which trades scan time for recall when a
     /// neighbor falls just across a Voronoi boundary.
     ///
+    /// The partition scans fan out across the global
+    /// [`pqfs_pool::ThreadPool`] (intra-query parallelism); the per-probe
+    /// result lists are merged in probe order, so the outcome is
+    /// bit-identical to a sequential probe loop for any pool size.
+    ///
     /// `SearchOutcome::partition` reports the nearest (first) probed cell;
     /// `stats` accumulates over all probed cells.
     ///
@@ -280,6 +318,24 @@ impl IvfadcIndex {
         keep: f64,
         nprobe: usize,
     ) -> Result<SearchOutcome, IvfError> {
+        self.search_probes_on(query, topk, backend, keep, nprobe, ThreadPool::global())
+    }
+
+    /// [`search_probes`](Self::search_probes) on a specific pool (tests and
+    /// callers that manage their own pool sizing).
+    ///
+    /// # Errors
+    ///
+    /// As [`search_probes`](Self::search_probes).
+    pub fn search_probes_on(
+        &self,
+        query: &[f32],
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+        nprobe: usize,
+        pool: &ThreadPool,
+    ) -> Result<SearchOutcome, IvfError> {
         if query.len() != self.dim {
             return Err(IvfError::DimMismatch {
                 expected: self.dim,
@@ -290,17 +346,16 @@ impl IvfadcIndex {
             return Err(IvfError::Config("topk and nprobe must be positive".into()));
         }
         let probes = self.coarse.assign_multi(query, nprobe);
+        let partials = pool.try_parallel_map(&probes, |_, &p| {
+            self.scan_partition(query, p, topk, backend, keep)
+        })?;
         let mut merged = pqfs_core::TopK::new(topk);
         let mut stats = ScanStats::default();
-        for &p in &probes {
-            let (neighbors, s) = self.scan_partition(query, p, topk, backend, keep)?;
+        for (neighbors, s) in partials {
             for n in neighbors {
                 merged.push(n.dist, n.id);
             }
-            stats.scanned += s.scanned;
-            stats.pruned += s.pruned;
-            stats.verified += s.verified;
-            stats.warmup += s.warmup;
+            stats.merge(&s);
         }
         Ok(SearchOutcome {
             neighbors: merged.into_sorted(),
@@ -309,13 +364,17 @@ impl IvfadcIndex {
         })
     }
 
-    /// Answers a batch of row-major queries in parallel across `threads`
-    /// OS threads (paper §3.1: "PQ Scan parallelizes naturally over
-    /// multiple queries by running each query on a different core").
+    /// Answers a batch of row-major queries in parallel on the global
+    /// [`pqfs_pool::ThreadPool`] (paper §3.1: "PQ Scan parallelizes
+    /// naturally over multiple queries by running each query on a different
+    /// core"). Queries are dealt out in small tasks so stragglers
+    /// load-balance across workers, and each worker reuses its thread-local
+    /// tables/buffers between queries. Results and their order are
+    /// identical to calling [`search`](Self::search) per query.
     ///
     /// # Errors
     ///
-    /// First error encountered by any query, or
+    /// The lowest-indexed error encountered by any query, or
     /// [`IvfError::DimMismatch`] if the batch is not a multiple of `dim`.
     pub fn search_batch(
         &self,
@@ -323,7 +382,23 @@ impl IvfadcIndex {
         topk: usize,
         backend: SearchBackend,
         keep: f64,
-        threads: usize,
+    ) -> Result<Vec<SearchOutcome>, IvfError> {
+        self.search_batch_on(queries, topk, backend, keep, ThreadPool::global())
+    }
+
+    /// [`search_batch`](Self::search_batch) on a specific pool (tests and
+    /// callers that manage their own pool sizing).
+    ///
+    /// # Errors
+    ///
+    /// As [`search_batch`](Self::search_batch).
+    pub fn search_batch_on(
+        &self,
+        queries: &[f32],
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+        pool: &ThreadPool,
     ) -> Result<Vec<SearchOutcome>, IvfError> {
         if queries.len() % self.dim != 0 {
             return Err(IvfError::DimMismatch {
@@ -331,40 +406,15 @@ impl IvfadcIndex {
                 actual: queries.len(),
             });
         }
-        let n = queries.len() / self.dim;
-        let threads = threads.max(1).min(n.max(1));
-        if threads <= 1 {
-            return queries
-                .chunks_exact(self.dim)
-                .map(|q| self.search(q, topk, backend, keep))
-                .collect();
-        }
-        let chunk_rows = n.div_ceil(threads);
-        let mut results: Vec<Result<Vec<SearchOutcome>, IvfError>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk_rows * self.dim)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .chunks_exact(self.dim)
-                            .map(|q| self.search(q, topk, backend, keep))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("search thread panicked"));
-            }
-        });
-        let mut flat = Vec::with_capacity(n);
-        for r in results {
-            flat.extend(r?);
-        }
-        Ok(flat)
+        let rows: Vec<&[f32]> = queries.chunks_exact(self.dim).collect();
+        pool.try_parallel_map(&rows, |_, q| self.search(q, topk, backend, keep))
     }
 
     /// Scans one partition for `query` and returns global-id neighbors.
+    ///
+    /// Runs on the calling thread using its [`QueryScratch`]: the residual
+    /// buffer, distance tables and Fast Scan table buffers are reused
+    /// across queries, so repeated scans allocate only the result vector.
     fn scan_partition(
         &self,
         query: &[f32],
@@ -378,36 +428,44 @@ impl IvfadcIndex {
             return Ok((Vec::new(), ScanStats::default()));
         }
 
-        // Step 2: distance tables on the query residual.
-        let mut residual = vec![0f32; self.dim];
-        self.coarse.residual_into(query, p, &mut residual);
-        let tables = DistanceTables::compute(&self.pq, &residual)?;
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
 
-        // Step 3: scan, through the backend registry — no per-backend
-        // dispatch here; whatever was prepared at build time can serve.
-        let scanner = partition.prepared_for(backend).ok_or_else(|| {
-            IvfError::Config(format!(
-                "backend '{backend}' was not built into this index (available: {})",
-                partition
-                    .prepared
-                    .iter()
-                    .map(|s| s.backend().name())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ))
-        })?;
-        let result: ScanResult = scanner.scan(&tables, &ScanParams::new(topk).with_keep(keep))?;
+            // Step 2: distance tables on the query residual.
+            scratch.residual.resize(self.dim, 0.0);
+            self.coarse.residual_into(query, p, &mut scratch.residual);
+            scratch.tables.recompute(&self.pq, &scratch.residual)?;
 
-        // Translate partition positions to global ids.
-        let neighbors = result
-            .neighbors
-            .into_iter()
-            .map(|n| Neighbor {
-                dist: n.dist,
-                id: partition.ids[n.id as usize],
-            })
-            .collect();
-        Ok((neighbors, result.stats))
+            // Step 3: scan, through the backend registry — no per-backend
+            // dispatch here; whatever was prepared at build time can serve.
+            let scanner = partition.prepared_for(backend).ok_or_else(|| {
+                IvfError::Config(format!(
+                    "backend '{backend}' was not built into this index (available: {})",
+                    partition
+                        .prepared
+                        .iter()
+                        .map(|s| s.backend().name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })?;
+            let result: ScanResult = scanner.scan_with(
+                &scratch.tables,
+                &ScanParams::new(topk).with_keep(keep),
+                &mut scratch.scan,
+            )?;
+
+            // Translate partition positions to global ids.
+            let neighbors = result
+                .neighbors
+                .into_iter()
+                .map(|n| Neighbor {
+                    dist: n.dist,
+                    id: partition.ids[n.id as usize],
+                })
+                .collect();
+            Ok((neighbors, result.stats))
+        })
     }
 
     /// Rebuilds an index from stored parts (used by persistence).
@@ -683,13 +741,66 @@ mod tests {
         let (index, base) = build_index(500);
         let queries = &base[..DIM * 20];
         let batch = index
-            .search_batch(queries, 8, SearchBackend::FastScan, 0.01, 4)
+            .search_batch(queries, 8, SearchBackend::FastScan, 0.01)
             .unwrap();
         assert_eq!(batch.len(), 20);
         for (i, q) in queries.chunks_exact(DIM).enumerate() {
             let single = index.search(q, 8, SearchBackend::FastScan, 0.01).unwrap();
             let ids = |o: &SearchOutcome| o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>();
             assert_eq!(ids(&batch[i]), ids(&single), "query {i}");
+        }
+    }
+
+    /// The executor determinism guarantee, end to end: batch search and
+    /// parallel multi-probe search are bit-identical to serial execution
+    /// (a 1-thread pool runs everything inline on the caller) for every
+    /// backend and pool size.
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial_for_every_backend() {
+        let train = clustered(1200, 7);
+        let base = clustered(600, 8);
+        let config = IvfadcConfig::new(DIM, 4).with_backends(SearchBackend::ALL.to_vec());
+        let index = IvfadcIndex::build(&train, &base, &config).unwrap();
+        let queries = &base[..DIM * 10];
+        let key = |o: &SearchOutcome| {
+            (
+                o.neighbors
+                    .iter()
+                    .map(|n| (n.dist.to_bits(), n.id))
+                    .collect::<Vec<_>>(),
+                o.stats,
+                o.partition,
+            )
+        };
+        let serial = ThreadPool::new(1);
+        for backend in SearchBackend::ALL {
+            let base_batch = index
+                .search_batch_on(queries, 8, backend, 0.01, &serial)
+                .unwrap();
+            let base_probes: Vec<SearchOutcome> = queries
+                .chunks_exact(DIM)
+                .map(|q| {
+                    index
+                        .search_probes_on(q, 8, backend, 0.01, 3, &serial)
+                        .unwrap()
+                })
+                .collect();
+            for threads in [2usize, 8] {
+                let pool = ThreadPool::new(threads);
+                let batch = index
+                    .search_batch_on(queries, 8, backend, 0.01, &pool)
+                    .unwrap();
+                assert_eq!(batch.len(), base_batch.len());
+                for (a, b) in batch.iter().zip(&base_batch) {
+                    assert_eq!(key(a), key(b), "{backend} batch @ {threads} threads");
+                }
+                for (q, b) in queries.chunks_exact(DIM).zip(&base_probes) {
+                    let a = index
+                        .search_probes_on(q, 8, backend, 0.01, 3, &pool)
+                        .unwrap();
+                    assert_eq!(key(&a), key(b), "{backend} probes @ {threads} threads");
+                }
+            }
         }
     }
 

@@ -7,8 +7,55 @@
 
 use crate::distance::{l2_sq, nearest_centroid};
 use crate::KMeansError;
+use pqfs_pool::ThreadPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Rows per assignment-step task. Fixed (never derived from the pool size)
+/// so the chunk-local inertia partial sums — and therefore the whole
+/// training run — are bit-identical for any thread count.
+const ASSIGN_CHUNK: usize = 1024;
+
+/// The Lloyd assignment step over fixed-size row chunks on the shared pool:
+/// fills `assignment` and `dists` and returns the inertia as the chunk
+/// partial sums added in chunk order.
+fn assign_step(
+    data: &[f32],
+    dim: usize,
+    centroids: &[f32],
+    assignment: &mut [u32],
+    dists: &mut [f32],
+    pool: &ThreadPool,
+) -> f64 {
+    let mut pieces: Vec<(usize, &mut [u32], &mut [f32])> =
+        Vec::with_capacity(assignment.len().div_ceil(ASSIGN_CHUNK));
+    {
+        let mut a = &mut *assignment;
+        let mut d = &mut *dists;
+        let mut offset = 0usize;
+        while !a.is_empty() {
+            let take = ASSIGN_CHUNK.min(a.len());
+            let (a_head, a_tail) = a.split_at_mut(take);
+            let (d_head, d_tail) = d.split_at_mut(take);
+            pieces.push((offset, a_head, d_head));
+            offset += take;
+            a = a_tail;
+            d = d_tail;
+        }
+    }
+    let partials = pool.parallel_map_mut(&mut pieces, |_, (offset, a, d)| {
+        let rows = &data[*offset * dim..(*offset + a.len()) * dim];
+        let mut local = 0f64;
+        for (k, v) in rows.chunks_exact(dim).enumerate() {
+            let (c, dist) = nearest_centroid(v, centroids, dim);
+            a[k] = c as u32;
+            d[k] = dist;
+            local += dist as f64;
+        }
+        local
+    });
+    partials.iter().sum()
+}
 
 /// Centroid initialization strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -258,17 +305,14 @@ pub fn train(data: &[f32], dim: usize, cfg: &KMeansConfig) -> Result<KMeans, KMe
     let mut sums = vec![0f64; k * dim];
     let mut counts = vec![0usize; k];
 
+    let pool = ThreadPool::global();
     for iter in 0..cfg.max_iters.max(1) {
         iterations = iter + 1;
 
-        // Assignment step.
-        inertia = 0.0;
-        for (i, v) in data.chunks_exact(dim).enumerate() {
-            let (c, d) = nearest_centroid(v, &centroids, dim);
-            assignment[i] = c as u32;
-            dists[i] = d;
-            inertia += d as f64;
-        }
+        // Assignment step — the hot loop of training, parallel over fixed
+        // row chunks (decomposition never depends on the pool size, so
+        // training is reproducible on any machine and thread count).
+        inertia = assign_step(data, dim, &centroids, &mut assignment, &mut dists, pool);
 
         // Update step.
         sums.iter_mut().for_each(|s| *s = 0.0);
@@ -444,6 +488,37 @@ mod tests {
             train(&[1.0, f32::NAN], 2, &KMeansConfig::new(1)).unwrap_err(),
             KMeansError::NonFiniteInput
         );
+    }
+
+    #[test]
+    fn training_is_identical_for_any_pool_size() {
+        // Over 2×ASSIGN_CHUNK points so the parallel path really splits.
+        let data = blob_data(&[[0.0, 0.0], [40.0, 5.0], [5.0, 40.0]], 800, 4.0, 17);
+        let cfg = KMeansConfig::new(8).with_seed(6);
+        let serial = train(&data, 2, &cfg).unwrap();
+        for threads in [2usize, 8] {
+            let pool = ThreadPool::new(threads);
+            let mut assignment = vec![0u32; data.len() / 2];
+            let mut dists = vec![0f32; data.len() / 2];
+            let par = assign_step(
+                &data,
+                2,
+                serial.centroids(),
+                &mut assignment,
+                &mut dists,
+                &pool,
+            );
+            let ser = assign_step(
+                &data,
+                2,
+                serial.centroids(),
+                &mut vec![0u32; data.len() / 2],
+                &mut vec![0f32; data.len() / 2],
+                &ThreadPool::new(1),
+            );
+            assert_eq!(par.to_bits(), ser.to_bits(), "{threads} threads");
+            assert_eq!(assignment, serial.assign_all(&data), "{threads} threads");
+        }
     }
 
     #[test]

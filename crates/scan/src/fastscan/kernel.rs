@@ -104,7 +104,7 @@ impl Kernel {
 }
 
 /// The per-query quantized tables a scan consumes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ScanTables {
     /// For each grouped component `j < c`: the full 256-entry quantized
     /// table (16-entry portions selected per group).

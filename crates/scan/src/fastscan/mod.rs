@@ -42,7 +42,7 @@ pub mod mintables;
 mod scan;
 
 pub use kernel::Kernel;
-pub use scan::ScanParams;
+pub use scan::{ScanParams, ScanScratch};
 
 use crate::quantize::DEFAULT_BINS;
 use crate::result::ScanResult;
@@ -145,6 +145,22 @@ impl FastScanIndex {
         params: &ScanParams,
     ) -> Result<ScanResult, ScanError> {
         scan::scan(self, tables, params)
+    }
+
+    /// [`scan`](Self::scan) reusing a caller-held [`ScanScratch`] for the
+    /// quantized table buffers, so repeated queries allocate nothing for
+    /// table setup. Results are identical to [`scan`](Self::scan).
+    ///
+    /// # Errors
+    ///
+    /// As [`scan`](Self::scan).
+    pub fn scan_with(
+        &self,
+        tables: &DistanceTables,
+        params: &ScanParams,
+        scratch: &mut ScanScratch,
+    ) -> Result<ScanResult, ScanError> {
+        scan::scan_with(self, tables, params, scratch)
     }
 
     /// Number of indexed vectors.

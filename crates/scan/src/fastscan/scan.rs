@@ -2,8 +2,7 @@
 //! Figure 6).
 
 use crate::fastscan::kernel::{scan_all_portable, ResolvedKernel, ScanTables};
-use crate::fastscan::layout::PORTION;
-use crate::fastscan::mintables::quantized_min_tables;
+use crate::fastscan::layout::{FS_M, PORTION};
 use crate::fastscan::FastScanIndex;
 use crate::quantize::DistanceQuantizer;
 use crate::result::{ScanResult, ScanStats};
@@ -41,10 +40,33 @@ impl ScanParams {
     }
 }
 
+/// Reusable per-thread scan state: the quantized table buffers a Fast Scan
+/// query fills (one 256-entry byte table per grouped component plus the
+/// 16-entry small tables).
+///
+/// Building these tables is the only per-query heap allocation of a
+/// prepared Fast Scan query; batch drivers keep one `ScanScratch` per
+/// worker thread so steady-state scanning allocates nothing but the result
+/// vector. A default-constructed scratch is always valid — buffers grow on
+/// first use and are reused afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct ScanScratch {
+    pub(crate) tables: ScanTables,
+}
+
 pub(crate) fn scan(
     index: &FastScanIndex,
     tables: &DistanceTables,
     params: &ScanParams,
+) -> Result<ScanResult, ScanError> {
+    scan_with(index, tables, params, &mut ScanScratch::default())
+}
+
+pub(crate) fn scan_with(
+    index: &FastScanIndex,
+    tables: &DistanceTables,
+    params: &ScanParams,
+    scratch: &mut ScanScratch,
 ) -> Result<ScanResult, ScanError> {
     if tables.m() != 8 || tables.ksub() != 256 {
         return Err(ScanError::NeedsPq8x8 {
@@ -98,18 +120,25 @@ pub(crate) fn scan(
     let quantizer = DistanceQuantizer::new(tables, qmax, index.bins());
 
     // Quantized full tables for the grouped components (their 16-entry
-    // portions become S_0..S_{c-1}, selected per group by the kernel)...
-    let grouped_tables: Vec<Vec<u8>> = (0..c)
-        .map(|j| quantizer.quantize_table(j, tables.table(j)))
-        .collect();
-    // ...and the minimum tables S_c..S_7, constant for the whole query.
-    let min_tables = quantized_min_tables(tables, &quantizer, c);
-    let mut scan_tables = ScanTables {
-        grouped: grouped_tables,
-        small: [[0u8; PORTION]; 8],
-    };
-    for (j, table) in min_tables.iter().enumerate() {
-        scan_tables.small[c + j] = *table;
+    // portions become S_0..S_{c-1}, selected per group by the kernel),
+    // written into the reusable scratch buffers...
+    let scan_tables = &mut scratch.tables;
+    scan_tables.grouped.resize_with(c, Vec::new);
+    for (j, buf) in scan_tables.grouped.iter_mut().enumerate() {
+        quantizer.quantize_table_into(j, tables.table(j), buf);
+    }
+    // ...and the minimum tables S_c..S_7, constant for the whole query
+    // (portion minima computed in float domain as in [`min_table`], then
+    // quantized — monotone, so this equals the minimum of quantized
+    // entries).
+    for j in c..FS_M {
+        for (slot, portion) in scan_tables.small[j]
+            .iter_mut()
+            .zip(tables.table(j).chunks_exact(PORTION))
+        {
+            let min = portion.iter().copied().fold(f32::INFINITY, f32::min);
+            *slot = quantizer.quantize_value(j, min);
+        }
     }
 
     let threshold = quantizer.quantize_threshold(heap.threshold());
@@ -137,7 +166,7 @@ pub(crate) fn scan(
 
     match kernel {
         ResolvedKernel::Portable => {
-            scan_all_portable(grouped, &mut scan_tables.clone(), threshold, &mut visit);
+            scan_all_portable(grouped, scan_tables, threshold, &mut visit);
         }
         #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
         ResolvedKernel::Ssse3 => {
@@ -145,7 +174,7 @@ pub(crate) fn scan(
             unsafe {
                 crate::fastscan::kernel::x86::scan_all_ssse3(
                     grouped,
-                    &scan_tables,
+                    scan_tables,
                     threshold,
                     &mut visit,
                 );
@@ -157,7 +186,7 @@ pub(crate) fn scan(
             unsafe {
                 crate::fastscan::kernel::x86::scan_all_avx2(
                     grouped,
-                    &scan_tables,
+                    scan_tables,
                     threshold,
                     &mut visit,
                 );

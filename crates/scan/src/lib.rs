@@ -62,7 +62,7 @@ mod scanner;
 
 pub use avx::scan_avx;
 pub use error::ScanError;
-pub use fastscan::{FastScanIndex, FastScanOptions, Kernel, ScanParams};
+pub use fastscan::{FastScanIndex, FastScanOptions, Kernel, ScanParams, ScanScratch};
 pub use gather::scan_gather;
 pub use libpq::scan_libpq;
 pub use naive::scan_naive;

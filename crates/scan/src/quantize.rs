@@ -104,7 +104,16 @@ impl DistanceQuantizer {
     /// Quantizes a full 256-entry table row (used by the grouped small
     /// tables and by the §5.5 quantization-only variant).
     pub fn quantize_table(&self, j: usize, table: &[f32]) -> Vec<u8> {
-        table.iter().map(|&v| self.quantize_value(j, v)).collect()
+        let mut out = Vec::new();
+        self.quantize_table_into(j, table, &mut out);
+        out
+    }
+
+    /// [`quantize_table`](Self::quantize_table) into an existing buffer,
+    /// so per-query scratch can be reused without reallocating.
+    pub fn quantize_table_into(&self, j: usize, table: &[f32], out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(table.iter().map(|&v| self.quantize_value(j, v)));
     }
 
     /// Quantizes the pruning threshold `t` (the current top-k distance).

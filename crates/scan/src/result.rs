@@ -23,6 +23,15 @@ pub struct ScanStats {
 }
 
 impl ScanStats {
+    /// Accumulates another scan's counters into this one (multi-probe
+    /// search and the bench harnesses sum stats over many scans).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.scanned += other.scanned;
+        self.pruned += other.pruned;
+        self.verified += other.verified;
+        self.warmup += other.warmup;
+    }
+
     /// Fraction of candidate vectors whose exact distance computation was
     /// pruned — the paper's "Pruned [%]" axis. The warm-up vectors are
     /// excluded from the denominator, matching §5.4's definition of the
@@ -62,6 +71,33 @@ impl ScanResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = ScanStats {
+            scanned: 10,
+            pruned: 4,
+            verified: 5,
+            warmup: 1,
+        };
+        a.merge(&ScanStats {
+            scanned: 100,
+            pruned: 40,
+            verified: 50,
+            warmup: 10,
+        });
+        assert_eq!(
+            a,
+            ScanStats {
+                scanned: 110,
+                pruned: 44,
+                verified: 55,
+                warmup: 11,
+            }
+        );
+        a.merge(&ScanStats::default());
+        assert_eq!(a.scanned, 110);
+    }
 
     #[test]
     fn pruned_fraction_excludes_warmup() {

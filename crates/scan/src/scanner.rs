@@ -36,7 +36,7 @@
 //! }
 //! ```
 
-use crate::fastscan::{FastScanIndex, FastScanOptions, Kernel, ScanParams};
+use crate::fastscan::{FastScanIndex, FastScanOptions, Kernel, ScanParams, ScanScratch};
 use crate::quantize::DEFAULT_BINS;
 use crate::result::ScanResult;
 use crate::{scan_avx, scan_gather, scan_libpq, scan_naive, scan_quantize_only, ScanError};
@@ -167,6 +167,25 @@ pub trait PreparedScanner: fmt::Debug + Send + Sync {
     ///
     /// Kernel resolution errors and table-shape mismatches.
     fn scan(&self, tables: &DistanceTables, params: &ScanParams) -> Result<ScanResult, ScanError>;
+
+    /// [`scan`](Self::scan) with a caller-held [`ScanScratch`]: backends
+    /// that build per-query tables (Fast Scan) reuse the scratch buffers
+    /// instead of allocating; the others ignore it. Batch drivers keep one
+    /// scratch per worker thread. Results are identical to
+    /// [`scan`](Self::scan).
+    ///
+    /// # Errors
+    ///
+    /// As [`scan`](Self::scan).
+    fn scan_with(
+        &self,
+        tables: &DistanceTables,
+        params: &ScanParams,
+        scratch: &mut ScanScratch,
+    ) -> Result<ScanResult, ScanError> {
+        let _ = scratch;
+        self.scan(tables, params)
+    }
 
     /// Bytes of code storage held by this prepared layout (the paper's
     /// Figure 20 memory comparison).
@@ -640,6 +659,15 @@ impl PreparedScanner for PreparedFastScan {
 
     fn scan(&self, tables: &DistanceTables, params: &ScanParams) -> Result<ScanResult, ScanError> {
         self.index.scan(tables, params)
+    }
+
+    fn scan_with(
+        &self,
+        tables: &DistanceTables,
+        params: &ScanParams,
+        scratch: &mut ScanScratch,
+    ) -> Result<ScanResult, ScanError> {
+        self.index.scan_with(tables, params, scratch)
     }
 
     fn code_memory_bytes(&self) -> usize {

@@ -18,6 +18,8 @@
 //! * [`scan`] — PQ Scan baselines, [`FastScanIndex`], and the
 //!   [`Backend`](scan::Backend) registry every implementation sits behind;
 //! * [`ivf`] — the IVFADC indexed-search pipeline;
+//! * [`pool`] — the shared work-stealing thread pool every parallel path
+//!   (batch search, multi-probe fan-out, batch encoding, training) runs on;
 //! * [`data`] — synthetic SIFT-like datasets, TEXMEX file IO, ground truth;
 //! * [`metrics`] — statistics, recall, counter and cost models;
 //! * [`columnar`] — the §6 generalization to compressed column scans.
@@ -57,6 +59,7 @@ pub use pqfs_data as data;
 pub use pqfs_ivf as ivf;
 pub use pqfs_kmeans as kmeans;
 pub use pqfs_metrics as metrics;
+pub use pqfs_pool as pool;
 pub use pqfs_scan as scan;
 
 /// The most common imports in one place.
@@ -69,6 +72,7 @@ pub mod prelude {
     pub use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
     pub use pqfs_kmeans::{KMeans, KMeansConfig};
     pub use pqfs_metrics::{mvecs_per_sec, Summary};
+    pub use pqfs_pool::ThreadPool;
     pub use pqfs_scan::{
         scan_avx, scan_gather, scan_libpq, scan_naive, scan_quantize_only, Backend, FastScanIndex,
         FastScanOptions, Kernel, PreparedScanner, ScanOpts, ScanParams, ScanResult, ScanStats,
