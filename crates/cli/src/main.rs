@@ -23,27 +23,64 @@ use pqfs_data::{read_fvecs, write_fvecs, SyntheticConfig, SyntheticDataset};
 use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
 use pqfs_metrics::{fmt_count, time_ms, Summary};
 use std::process::ExitCode;
+use std::time::Duration;
 
 mod args;
 use args::Args;
+
+/// Exit code 1: usage mistakes, bad arguments, search/config failures.
+const EXIT_ERROR: u8 = 1;
+/// Exit code 2: an artifact (index or vector file) failed to load —
+/// corruption, truncation, checksum mismatch, IO failure.
+const EXIT_LOAD_ERROR: u8 = 2;
+/// Exit code 3: queries answered, but degraded — some probes failed or
+/// were skipped by the deadline budget, so result sets may be incomplete.
+const EXIT_DEGRADED: u8 = 3;
+
+/// What a successful command run produced.
+enum Outcome {
+    /// Everything ran at full fidelity.
+    Clean,
+    /// Queries answered with reduced probe coverage.
+    Degraded,
+}
+
+/// Command failures, split by exit code.
+enum CliError {
+    /// An on-disk artifact could not be loaded (exit 2).
+    Load(String),
+    /// Anything else (exit 1).
+    Other(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Other(msg)
+    }
+}
+
+/// Shorthand for mapping artifact-load failures onto [`CliError::Load`].
+fn load_err(context: &str, e: impl std::fmt::Display) -> CliError {
+    CliError::Load(format!("{context}: {e}"))
+}
 
 fn main() -> ExitCode {
     let usage = usage();
     let mut raw = std::env::args().skip(1);
     let Some(command) = raw.next() else {
         eprintln!("{usage}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_ERROR);
     };
     let args = match Args::parse(raw) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}\n\n{usage}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     if let Err(e) = apply_threads(&args) {
         eprintln!("error: {e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_ERROR);
     }
     let result = match command.as_str() {
         "gen" => cmd_gen(&args),
@@ -52,15 +89,23 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "help" | "--help" | "-h" => {
             println!("{usage}");
-            Ok(())
+            Ok(Outcome::Clean)
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(CliError::Other(format!("unknown command '{other}'"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Degraded) => {
+            eprintln!("warning: degraded results (probe failures or deadline skips)");
+            ExitCode::from(EXIT_DEGRADED)
+        }
+        Err(CliError::Load(e)) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_LOAD_ERROR)
+        }
+        Err(CliError::Other(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
@@ -79,7 +124,7 @@ USAGE:
   pqfs info   --index <index.pqiv>
   pqfs query  --index <index.pqiv> --queries <file.fvecs> [--topk 100]
               [--backend <name>] [--keep 0.005] [--nprobe 1]
-              [--batch true] [--threads N]
+              [--deadline-ms N] [--batch true] [--threads N]
 
   --threads N  size of the shared worker pool used by build encoding,
                multi-probe (--nprobe > 1) and batch (--batch true) queries.
@@ -87,6 +132,17 @@ USAGE:
                sets the same limit.
   --batch true answer all queries as one parallel batch and report
                aggregate throughput instead of per-query latency.
+  --deadline-ms N
+               per-query time budget for multi-probe search: the nearest
+               probe always runs, further probes are skipped once the
+               budget is spent (skips are reported and exit code 3 flags
+               the degraded run).
+
+EXIT CODES: 0 success | 1 error | 2 artifact load failure | 3 degraded
+            results (probe failures or deadline skips)
+
+The PQFS_FAILPOINTS environment variable arms deterministic fault
+injection at named IO/search sites (testing; see the pqfs_fault crate).
 
 BACKENDS: {}",
         SearchBackend::names()
@@ -108,47 +164,50 @@ fn apply_threads(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> Result<Outcome, CliError> {
     let out = args.require("out")?;
     let n = args.usize("n", 0)?;
     if n == 0 {
-        return Err("--n must be positive".into());
+        return Err(CliError::Other("--n must be positive".into()));
     }
     let dim = args.usize("dim", 128)?;
     let seed = args.u64("seed", 0)?;
     let cfg = SyntheticConfig::sift_like().with_dim(dim).with_seed(seed);
     let data = SyntheticDataset::new(&cfg).sample(n);
-    write_fvecs(&out, &data, dim).map_err(|e| e.to_string())?;
+    write_fvecs(&out, &data, dim).map_err(|e| CliError::Other(e.to_string()))?;
     println!(
         "wrote {} vectors of dim {dim} to {out}",
         fmt_count(n as u64)
     );
-    Ok(())
+    Ok(Outcome::Clean)
 }
 
-fn cmd_build(args: &Args) -> Result<(), String> {
+fn cmd_build(args: &Args) -> Result<Outcome, CliError> {
     let base_path = args.require("base")?;
     let out = args.require("out")?;
     let partitions = args.usize("partitions", 8)?;
     let seed = args.u64("seed", 0)?;
 
-    let base = read_fvecs(&base_path).map_err(|e| format!("reading {base_path}: {e}"))?;
+    let base = read_fvecs(&base_path).map_err(|e| load_err(&format!("reading {base_path}"), e))?;
     if base.is_empty() {
-        return Err("base file holds no vectors".into());
+        return Err(CliError::Other("base file holds no vectors".into()));
     }
     let dim = base.dim;
     if dim % 8 != 0 {
-        return Err(format!(
+        return Err(CliError::Other(format!(
             "dim {dim} is not a multiple of 8 (PQ 8x8 requires it)"
-        ));
+        )));
     }
 
     // Training set: explicit file, or a sample of the base.
     let train: Vec<f32> = match args.get("train") {
         Some(path) => {
-            let t = read_fvecs(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let t = read_fvecs(path).map_err(|e| load_err(&format!("reading {path}"), e))?;
             if t.dim != dim {
-                return Err(format!("train dim {} != base dim {dim}", t.dim));
+                return Err(CliError::Other(format!(
+                    "train dim {} != base dim {dim}",
+                    t.dim
+                )));
             }
             t.data
         }
@@ -174,23 +233,29 @@ fn cmd_build(args: &Args) -> Result<(), String> {
             .split(',')
             .filter(|s| !s.trim().is_empty())
             .map(|s| s.trim().parse())
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<_, _>>()
+            .map_err(CliError::Other)?;
         if backends.is_empty() {
-            return Err("--backends must name at least one backend".into());
+            return Err(CliError::Other(
+                "--backends must name at least one backend".into(),
+            ));
         }
         config = config.with_backends(backends);
     }
     let (index, ms) = time_ms(|| IvfadcIndex::build(&train, &base.data, &config));
-    let index = index.map_err(|e| e.to_string())?;
+    let index = index.map_err(|e| CliError::Other(e.to_string()))?;
     println!("built in {:.1} s", ms / 1e3);
-    index.save_file(&out).map_err(|e| e.to_string())?;
+    index
+        .save_file(&out)
+        .map_err(|e| CliError::Other(e.to_string()))?;
     println!("saved to {out}");
-    Ok(())
+    Ok(Outcome::Clean)
 }
 
-fn cmd_info(args: &Args) -> Result<(), String> {
+fn cmd_info(args: &Args) -> Result<Outcome, CliError> {
     let path = args.require("index")?;
-    let index = IvfadcIndex::load_file(&path).map_err(|e| e.to_string())?;
+    let index =
+        IvfadcIndex::load_file(&path).map_err(|e| load_err(&format!("loading {path}"), e))?;
     let sizes = index.partition_sizes();
     println!("index: {path}");
     println!("  vectors     : {}", fmt_count(index.len() as u64));
@@ -216,47 +281,60 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         fmt_count(index.code_memory_bytes(SearchBackend::Naive) as u64),
         fmt_count(index.code_memory_bytes(SearchBackend::FastScan) as u64)
     );
-    Ok(())
+    Ok(Outcome::Clean)
 }
 
-fn cmd_query(args: &Args) -> Result<(), String> {
+fn cmd_query(args: &Args) -> Result<Outcome, CliError> {
     let index_path = args.require("index")?;
     let query_path = args.require("queries")?;
     let topk = args.usize("topk", 100)?;
     let keep = args.f64("keep", 0.005)?;
     let nprobe = args.usize("nprobe", 1)?;
+    let deadline = match args.get("deadline-ms") {
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|_| {
+                CliError::Other(format!("--deadline-ms expects milliseconds, got '{v}'"))
+            })?;
+            Some(Duration::from_millis(ms))
+        }
+        None => None,
+    };
     // Backend names come straight from the scan registry: every kernel the
     // workspace knows is selectable here with no CLI changes.
     let backend: SearchBackend = args
         .get("backend")
         .map(String::as_str)
         .unwrap_or("fastscan")
-        .parse()?;
+        .parse()
+        .map_err(CliError::Other)?;
 
-    let index = IvfadcIndex::load_file(&index_path).map_err(|e| e.to_string())?;
-    let queries = read_fvecs(&query_path).map_err(|e| e.to_string())?;
+    let index = IvfadcIndex::load_file(&index_path)
+        .map_err(|e| load_err(&format!("loading {index_path}"), e))?;
+    let queries =
+        read_fvecs(&query_path).map_err(|e| load_err(&format!("reading {query_path}"), e))?;
     if queries.dim != index.coarse().dim() {
-        return Err(format!(
+        return Err(CliError::Other(format!(
             "query dim {} != index dim {}",
             queries.dim,
             index.coarse().dim()
-        ));
+        )));
     }
 
     if args.get("batch").map(String::as_str) == Some("true") {
-        return query_batch(&index, &queries.data, topk, backend, keep, nprobe);
+        return query_batch(&index, &queries.data, topk, backend, keep, nprobe, deadline);
     }
 
     let mut times = Vec::new();
+    let mut degraded = false;
     for (qi, q) in queries.data.chunks_exact(queries.dim).enumerate() {
         let (outcome, ms) = time_ms(|| {
-            if nprobe > 1 {
-                index.search_probes(q, topk, backend, keep, nprobe)
+            if nprobe > 1 || deadline.is_some() {
+                index.search_probes_budgeted(q, topk, backend, keep, nprobe, deadline)
             } else {
                 index.search(q, topk, backend, keep)
             }
         });
-        let outcome = outcome.map_err(|e| e.to_string())?;
+        let outcome = outcome.map_err(|e| CliError::Other(e.to_string()))?;
         times.push(ms);
         let preview: Vec<String> = outcome
             .neighbors
@@ -264,8 +342,18 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             .take(5)
             .map(|n| format!("{}:{:.1}", n.id, n.dist))
             .collect();
+        let health = outcome.health;
+        let health_note = if health.degraded() {
+            degraded = true;
+            format!(
+                " | probes ok {} failed {} skipped {}",
+                health.probes_ok, health.probes_failed, health.probes_skipped
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "query {qi}: partition {} | {:.2} ms | pruned {:.1}% | top: {}",
+            "query {qi}: partition {} | {:.2} ms | pruned {:.1}%{health_note} | top: {}",
             outcome.partition,
             ms,
             100.0 * outcome.stats.pruned_fraction(),
@@ -282,11 +370,16 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             s.percentile(95.0)
         );
     }
-    Ok(())
+    Ok(if degraded {
+        Outcome::Degraded
+    } else {
+        Outcome::Clean
+    })
 }
 
 /// `pqfs query --batch true`: answer every query as one parallel batch on
 /// the shared pool and report aggregate throughput.
+#[allow(clippy::too_many_arguments)]
 fn query_batch(
     index: &IvfadcIndex,
     queries: &[f32],
@@ -294,26 +387,31 @@ fn query_batch(
     backend: SearchBackend,
     keep: f64,
     nprobe: usize,
-) -> Result<(), String> {
+    deadline: Option<Duration>,
+) -> Result<Outcome, CliError> {
     let dim = index.coarse().dim();
     let n = queries.len() / dim;
     let pool = pqfs_pool::ThreadPool::global();
     let (outcomes, ms) = time_ms(|| {
-        if nprobe > 1 {
+        if nprobe > 1 || deadline.is_some() {
             // Multi-probe has no batch entry point; each query fans its
             // probes across the same pool instead.
             queries
                 .chunks_exact(dim)
-                .map(|q| index.search_probes(q, topk, backend, keep, nprobe))
+                .map(|q| index.search_probes_budgeted(q, topk, backend, keep, nprobe, deadline))
                 .collect::<Result<Vec<_>, _>>()
         } else {
             index.search_batch(queries, topk, backend, keep)
         }
     });
-    let outcomes = outcomes.map_err(|e| e.to_string())?;
+    let outcomes = outcomes.map_err(|e| CliError::Other(e.to_string()))?;
     let mut stats = pqfs_scan::ScanStats::default();
+    let mut failed = 0usize;
+    let mut skipped = 0usize;
     for o in &outcomes {
         stats.merge(&o.stats);
+        failed += o.health.probes_failed;
+        skipped += o.health.probes_skipped;
     }
     println!(
         "batch: {} queries | {} threads | {:.1} ms total | {:.0} queries/s | pruned {:.1}%",
@@ -323,5 +421,9 @@ fn query_batch(
         n as f64 / (ms / 1e3),
         100.0 * stats.pruned_fraction()
     );
-    Ok(())
+    if failed + skipped > 0 {
+        println!("degraded: {failed} probe scans failed, {skipped} skipped by deadline");
+        return Ok(Outcome::Degraded);
+    }
+    Ok(Outcome::Clean)
 }

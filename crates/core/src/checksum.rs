@@ -1,0 +1,197 @@
+//! CRC-32 (IEEE 802.3) for persistence integrity checking.
+//!
+//! The persist formats checksum every section and the whole file (see
+//! `docs/FORMAT.md`), so a torn write, truncated download or bit flip in a
+//! served artifact fails the load with a typed error instead of silently
+//! corrupting query results. CRC-32 detects every single-bit and
+//! single-byte error and all burst errors up to 32 bits — exactly the
+//! corruption classes the torture suite injects.
+
+/// The CRC-32 lookup table (reflected polynomial `0xEDB88320`), built at
+/// compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// An incremental CRC-32 digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The checksum of everything fed so far (the digest stays usable).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut digest = Crc32::new();
+    digest.update(bytes);
+    digest.finish()
+}
+
+/// A [`std::io::Write`] adapter that digests every byte it forwards; used
+/// by the persist writers to compute the whole-file footer checksum.
+#[derive(Debug)]
+pub struct CrcWrite<W> {
+    inner: W,
+    digest: Crc32,
+}
+
+impl<W: std::io::Write> CrcWrite<W> {
+    /// Wraps `inner` with a fresh digest.
+    pub fn new(inner: W) -> Self {
+        CrcWrite {
+            inner,
+            digest: Crc32::new(),
+        }
+    }
+
+    /// The checksum of everything written so far.
+    pub fn crc(&self) -> u32 {
+        self.digest.finish()
+    }
+
+    /// The wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for CrcWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.digest.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A [`std::io::Read`] adapter that digests every byte it yields; used by
+/// the persist readers to verify the whole-file footer checksum.
+#[derive(Debug)]
+pub struct CrcRead<R> {
+    inner: R,
+    digest: Crc32,
+}
+
+impl<R: std::io::Read> CrcRead<R> {
+    /// Wraps `inner` with a fresh digest.
+    pub fn new(inner: R) -> Self {
+        CrcRead {
+            inner,
+            digest: Crc32::new(),
+        }
+    }
+
+    /// The checksum of everything read so far.
+    pub fn crc(&self) -> u32 {
+        self.digest.finish()
+    }
+
+    /// The wrapped reader (to read past the digested region, e.g. the
+    /// stored footer checksum itself).
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: std::io::Read> std::io::Read for CrcRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.digest.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        let mut digest = Crc32::new();
+        for chunk in data.chunks(7) {
+            digest.update(chunk);
+        }
+        assert_eq!(digest.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn every_single_byte_change_changes_the_crc() {
+        let data: Vec<u8> = (0u16..256).map(|i| i as u8).collect();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut mutated = data.clone();
+            mutated[i] ^= 1;
+            assert_ne!(crc32(&mutated), base, "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn adapters_digest_what_passes_through() {
+        let data = b"checksummed payload";
+        let mut w = CrcWrite::new(Vec::new());
+        w.write_all(data).unwrap();
+        assert_eq!(w.crc(), crc32(data));
+        assert_eq!(w.into_inner(), data);
+
+        let mut r = CrcRead::new(&data[..]);
+        let mut got = Vec::new();
+        r.read_to_end(&mut got).unwrap();
+        assert_eq!(r.crc(), crc32(data));
+    }
+}

@@ -35,6 +35,7 @@
 //! assert!(approx.is_finite());
 //! ```
 
+pub mod checksum;
 pub mod codebook;
 pub mod config;
 mod error;
@@ -44,6 +45,7 @@ pub mod pq;
 pub mod tables;
 pub mod topk;
 
+pub use checksum::{crc32, Crc32};
 pub use codebook::Codebook;
 pub use config::PqConfig;
 pub use error::PqError;

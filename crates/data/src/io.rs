@@ -7,17 +7,23 @@
 //! routines let the harness load the real corpus when it is available; the
 //! synthetic generator ([`crate::synthetic`]) covers the offline case.
 
+use pqfs_fault::{FaultRead, FaultWrite};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// Errors from vector-file IO.
+///
+/// Marked `#[non_exhaustive]`: future format checks may add variants
+/// without a breaking release.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DataError {
     /// Underlying IO failure.
     Io(std::io::Error),
     /// Structurally invalid file (bad dimension marker, truncated record,
-    /// inconsistent dimensionality).
+    /// inconsistent dimensionality, or a record larger than the file
+    /// holding it).
     Format(String),
 }
 
@@ -74,7 +80,12 @@ fn read_records<T, F>(
 where
     F: FnMut(&[u8]) -> T,
 {
-    let mut reader = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    // Every record's payload must fit in the bytes the file actually has;
+    // checking against this running remainder rejects a corrupt dimension
+    // marker (e.g. 2^30) before allocating a buffer for it.
+    let mut remaining = file.metadata()?.len();
+    let mut reader = BufReader::new(FaultRead::new(file, "data.io.read"));
     let mut data = Vec::new();
     let mut dim: Option<usize> = None;
     let mut header = [0u8; 4];
@@ -84,6 +95,7 @@ where
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e.into()),
         }
+        remaining = remaining.saturating_sub(4);
         let d = i32::from_le_bytes(header);
         if d <= 0 {
             return Err(DataError::Format(format!("non-positive dimension {d}")));
@@ -98,10 +110,17 @@ where
             }
             _ => {}
         }
+        let record = (d as u64) * (elem_size as u64);
+        if record > remaining {
+            return Err(DataError::Format(format!(
+                "record claims {record} bytes but only {remaining} remain in the file"
+            )));
+        }
         let mut buf = vec![0u8; d * elem_size];
         reader
             .read_exact(&mut buf)
             .map_err(|_| DataError::Format("truncated record".into()))?;
+        remaining -= record;
         data.extend(buf.chunks_exact(elem_size).map(&mut decode));
     }
     Ok(VectorFile {
@@ -120,7 +139,7 @@ where
             data.len()
         )));
     }
-    let mut writer = BufWriter::new(File::create(path)?);
+    let mut writer = BufWriter::new(FaultWrite::new(File::create(path)?, "data.io.write"));
     let header = (dim as i32).to_le_bytes();
     let mut buf = Vec::new();
     for row in data.chunks_exact(dim) {
@@ -138,7 +157,7 @@ where
 /// Reads a `.fvecs` file (32-bit little-endian floats).
 pub fn read_fvecs(path: impl AsRef<Path>) -> Result<VectorFile<f32>, DataError> {
     read_records(path.as_ref(), 4, |b| {
-        f32::from_le_bytes(b.try_into().expect("4-byte chunk"))
+        f32::from_le_bytes([b[0], b[1], b[2], b[3]])
     })
 }
 
@@ -162,7 +181,7 @@ pub fn write_bvecs(path: impl AsRef<Path>, data: &[u8], dim: usize) -> Result<()
 /// Reads an `.ivecs` file (32-bit little-endian integers; ground truth ids).
 pub fn read_ivecs(path: impl AsRef<Path>) -> Result<VectorFile<i32>, DataError> {
     read_records(path.as_ref(), 4, |b| {
-        i32::from_le_bytes(b.try_into().expect("4-byte chunk"))
+        i32::from_le_bytes([b[0], b[1], b[2], b[3]])
     })
 }
 
@@ -252,6 +271,46 @@ mod tests {
             read_fvecs(&path).unwrap_err(),
             DataError::Format(_)
         ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn absurd_dimension_marker_is_rejected_before_allocating() {
+        // A 2^30 dimension marker on an 8-byte file must fail the
+        // remaining-bytes check, not attempt a 4 GiB allocation.
+        let path = tmp("absurd.fvecs");
+        let mut bytes = (1i32 << 30).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_fvecs(&path).unwrap_err();
+        assert!(matches!(err, DataError::Format(_)), "got {err}");
+        assert!(err.to_string().contains("remain"), "got {err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn injected_io_faults_surface_as_errors() {
+        let _lock = pqfs_fault::exclusive();
+        let path = tmp("faulty.fvecs");
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        {
+            let _g = pqfs_fault::scoped("data.io.write", pqfs_fault::FaultAction::Error);
+            assert!(matches!(
+                write_fvecs(&path, &data, 4).unwrap_err(),
+                DataError::Io(_)
+            ));
+        }
+        write_fvecs(&path, &data, 4).unwrap();
+        {
+            let _g = pqfs_fault::scoped("data.io.read", pqfs_fault::FaultAction::Error);
+            assert!(matches!(read_fvecs(&path).unwrap_err(), DataError::Io(_)));
+        }
+        {
+            // A short read mid-record is a truncation, not a crash.
+            let _g = pqfs_fault::scoped("data.io.read", pqfs_fault::FaultAction::ShortRead(10));
+            assert!(read_fvecs(&path).is_err());
+        }
+        assert_eq!(read_fvecs(&path).unwrap().data, data);
         std::fs::remove_file(path).ok();
     }
 

@@ -1,0 +1,153 @@
+//! Parsing for the `PQFS_FAILPOINTS` spec syntax.
+//!
+//! Grammar (whitespace around tokens is ignored):
+//!
+//! ```text
+//! spec   := entry (';' entry)*
+//! entry  := site '=' action
+//! action := 'off' | [count '*'] kind
+//! kind   := 'err' | 'io' | 'short_read(N)' | 'short_write(N)'
+//!         | 'bitflip(N)' | 'delay(MS)'
+//! ```
+
+use crate::FaultAction;
+use std::fmt;
+
+/// A malformed failpoint spec entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    message: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad failpoint spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn err(message: impl Into<String>) -> FaultSpecError {
+    FaultSpecError {
+        message: message.into(),
+    }
+}
+
+/// A parsed arming: the action plus an optional trigger limit; `None`
+/// means the entry was `off` (disarm).
+pub(crate) type ParsedArming = Option<(FaultAction, Option<u64>)>;
+
+/// Parses one `site=action` entry. Returns `(site, None)` for `off`,
+/// otherwise `(site, Some((action, trigger_limit)))`.
+pub(crate) fn parse_entry(entry: &str) -> Result<(String, ParsedArming), FaultSpecError> {
+    let (site, action) = entry
+        .split_once('=')
+        .ok_or_else(|| err(format!("'{entry}' is not 'site=action'")))?;
+    let site = site.trim();
+    if site.is_empty() {
+        return Err(err(format!("empty site name in '{entry}'")));
+    }
+    let action = action.trim();
+    if action == "off" {
+        return Ok((site.to_string(), None));
+    }
+    let (count, kind) = match action.split_once('*') {
+        Some((n, rest)) => {
+            let n: u64 = n
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad trigger count '{n}' in '{entry}'")))?;
+            if n == 0 {
+                return Err(err(format!("trigger count must be positive in '{entry}'")));
+            }
+            (Some(n), rest.trim())
+        }
+        None => (None, action),
+    };
+    Ok((site.to_string(), Some((parse_kind(kind)?, count))))
+}
+
+/// Parses an action kind, e.g. `bitflip(12)`.
+fn parse_kind(kind: &str) -> Result<FaultAction, FaultSpecError> {
+    match kind {
+        "err" | "io" => return Ok(FaultAction::Error),
+        _ => {}
+    }
+    let (name, arg) = match kind.split_once('(') {
+        Some((name, rest)) => {
+            let arg = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(format!("missing ')' in '{kind}'")))?;
+            let arg: u64 = arg
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad numeric argument in '{kind}'")))?;
+            (name.trim(), arg)
+        }
+        None => {
+            return Err(err(format!(
+                "unknown action '{kind}' (expected err, io, short_read(N), \
+                 short_write(N), bitflip(N), delay(MS) or off)"
+            )))
+        }
+    };
+    match name {
+        "short_read" => Ok(FaultAction::ShortRead(arg)),
+        "short_write" => Ok(FaultAction::ShortWrite(arg)),
+        "bitflip" => Ok(FaultAction::BitFlip(arg)),
+        "delay" => Ok(FaultAction::Delay(arg)),
+        other => Err(err(format!("unknown action '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        assert_eq!(
+            parse_entry("a=err").unwrap(),
+            ("a".into(), Some((FaultAction::Error, None)))
+        );
+        assert_eq!(
+            parse_entry("a=io").unwrap(),
+            ("a".into(), Some((FaultAction::Error, None)))
+        );
+        assert_eq!(
+            parse_entry("a=short_read(9)").unwrap(),
+            ("a".into(), Some((FaultAction::ShortRead(9), None)))
+        );
+        assert_eq!(
+            parse_entry("a=short_write(0)").unwrap(),
+            ("a".into(), Some((FaultAction::ShortWrite(0), None)))
+        );
+        assert_eq!(
+            parse_entry(" a = 3*bitflip( 12 ) ").unwrap(),
+            ("a".into(), Some((FaultAction::BitFlip(12), Some(3))))
+        );
+        assert_eq!(
+            parse_entry("a=delay(250)").unwrap(),
+            ("a".into(), Some((FaultAction::Delay(250), None)))
+        );
+        assert_eq!(parse_entry("a=off").unwrap(), ("a".into(), None));
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        for bad in [
+            "no-equals",
+            "=err",
+            "a=",
+            "a=nope",
+            "a=bitflip",
+            "a=bitflip(",
+            "a=bitflip(x)",
+            "a=bitflip(1",
+            "a=-1*err",
+            "a=0*err",
+        ] {
+            assert!(parse_entry(bad).is_err(), "'{bad}' should be rejected");
+        }
+    }
+}

@@ -2,6 +2,7 @@ use std::fmt;
 
 /// Errors reported by the IVFADC index.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum IvfError {
     /// Invalid build configuration.
     Config(String),
@@ -18,6 +19,16 @@ pub enum IvfError {
     Pq(pqfs_core::PqError),
     /// Scan-layer failure.
     Scan(pqfs_scan::ScanError),
+    /// A single partition scan failed during multi-probe search (injected
+    /// fault, caught panic, or backend failure). Multi-probe search reports
+    /// this per-probe through [`crate::SearchHealth`] and only returns it
+    /// when *every* probe failed.
+    Probe {
+        /// The partition whose scan failed.
+        partition: usize,
+        /// What went wrong (stringified: the error must stay `Clone`).
+        message: String,
+    },
 }
 
 impl fmt::Display for IvfError {
@@ -33,6 +44,9 @@ impl fmt::Display for IvfError {
             IvfError::Coarse(e) => write!(f, "coarse quantizer training failed: {e}"),
             IvfError::Pq(e) => write!(f, "product quantizer failed: {e}"),
             IvfError::Scan(e) => write!(f, "scan failed: {e}"),
+            IvfError::Probe { partition, message } => {
+                write!(f, "scan of partition {partition} failed: {message}")
+            }
         }
     }
 }

@@ -9,7 +9,9 @@ use pqfs_scan::{
     PreparedScanner, ScanError, ScanOpts, ScanParams, ScanResult, ScanScratch, ScanStats,
 };
 use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Per-thread query state reused across queries: the residual buffer, the
 /// distance tables of Algorithm 1's step 2, and the Fast Scan quantized
@@ -150,6 +152,37 @@ impl Partition {
     }
 }
 
+/// Per-query health report: how many probed partitions contributed to the
+/// result set. Multi-probe search degrades gracefully — a failing partition
+/// scan (injected fault, caught panic, backend failure) or a probe skipped
+/// by the deadline budget reduces coverage instead of failing the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchHealth {
+    /// Probes whose scan completed and contributed candidates.
+    pub probes_ok: usize,
+    /// Probes whose scan failed (the result set misses their candidates).
+    pub probes_failed: usize,
+    /// Probes skipped because the deadline budget was exhausted.
+    pub probes_skipped: usize,
+}
+
+impl SearchHealth {
+    /// A fully healthy report over `probes` partitions.
+    pub(crate) fn healthy(probes: usize) -> Self {
+        SearchHealth {
+            probes_ok: probes,
+            probes_failed: 0,
+            probes_skipped: 0,
+        }
+    }
+
+    /// True when the result set may be missing candidates: some probe
+    /// failed or was skipped.
+    pub fn degraded(&self) -> bool {
+        self.probes_failed > 0 || self.probes_skipped > 0
+    }
+}
+
 /// Result of one ANN query.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
@@ -160,6 +193,27 @@ pub struct SearchOutcome {
     pub stats: ScanStats,
     /// The partition that was scanned.
     pub partition: usize,
+    /// Probe coverage (check [`SearchHealth::degraded`] before trusting
+    /// the result set to be complete).
+    pub health: SearchHealth,
+}
+
+/// One probe's contribution to a multi-probe query.
+enum ProbeScan {
+    Ok((Vec<Neighbor>, ScanStats)),
+    Failed(IvfError),
+    Skipped,
+}
+
+/// Best-effort description of a caught scan panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "partition scan panicked".to_string()
+    }
 }
 
 /// The IVFADC index (paper §2.2, \[14\]).
@@ -290,6 +344,7 @@ impl IvfadcIndex {
             neighbors,
             stats,
             partition: p,
+            health: SearchHealth::healthy(1),
         })
     }
 
@@ -306,10 +361,16 @@ impl IvfadcIndex {
     /// `SearchOutcome::partition` reports the nearest (first) probed cell;
     /// `stats` accumulates over all probed cells.
     ///
+    /// **Graceful degradation:** a probe whose scan fails (injected fault,
+    /// caught panic, backend failure) is recorded in
+    /// [`SearchOutcome::health`] and its candidates are simply missing from
+    /// the merged result. The query only errors when *every* probe failed
+    /// (the first failure is returned) or on input validation.
+    ///
     /// # Errors
     ///
     /// As [`search`](Self::search), plus [`IvfError::Config`] for
-    /// `nprobe == 0`.
+    /// `nprobe == 0`, and the first probe failure when no probe succeeded.
     pub fn search_probes(
         &self,
         query: &[f32],
@@ -336,6 +397,60 @@ impl IvfadcIndex {
         nprobe: usize,
         pool: &ThreadPool,
     ) -> Result<SearchOutcome, IvfError> {
+        self.search_probes_budgeted_on(query, topk, backend, keep, nprobe, None, pool)
+    }
+
+    /// [`search_probes`](Self::search_probes) with an optional per-query
+    /// deadline budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`search_probes`](Self::search_probes).
+    pub fn search_probes_budgeted(
+        &self,
+        query: &[f32],
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+        nprobe: usize,
+        deadline: Option<Duration>,
+    ) -> Result<SearchOutcome, IvfError> {
+        self.search_probes_budgeted_on(
+            query,
+            topk,
+            backend,
+            keep,
+            nprobe,
+            deadline,
+            ThreadPool::global(),
+        )
+    }
+
+    /// The full multi-probe entry point: optional deadline budget, explicit
+    /// pool, graceful degradation.
+    ///
+    /// The nearest probe always runs — a query never returns an empty
+    /// best-so-far just because the budget was tight. Each further probe
+    /// checks the elapsed time before scanning and is *skipped* (recorded
+    /// in [`SearchOutcome::health`]) once `deadline` has passed. With
+    /// `deadline: None` the schedule is deterministic and the merged result
+    /// is bit-identical to a sequential probe loop for any pool size; with
+    /// a deadline, which probes get skipped depends on measured time.
+    ///
+    /// # Errors
+    ///
+    /// As [`search_probes`](Self::search_probes).
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_probes_budgeted_on(
+        &self,
+        query: &[f32],
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+        nprobe: usize,
+        deadline: Option<Duration>,
+        pool: &ThreadPool,
+    ) -> Result<SearchOutcome, IvfError> {
         if query.len() != self.dim {
             return Err(IvfError::DimMismatch {
                 expected: self.dim,
@@ -346,21 +461,72 @@ impl IvfadcIndex {
             return Err(IvfError::Config("topk and nprobe must be positive".into()));
         }
         let probes = self.coarse.assign_multi(query, nprobe);
-        let partials = pool.try_parallel_map(&probes, |_, &p| {
-            self.scan_partition(query, p, topk, backend, keep)
-        })?;
+        let start = Instant::now();
+        // One relaxed load when no failpoint is armed anywhere; the
+        // per-probe site string is only built under an armed registry.
+        let faults_armed = pqfs_fault::armed();
+        let scans = pool.parallel_map(&probes, |i, &p| {
+            if i > 0 {
+                if let Some(budget) = deadline {
+                    if start.elapsed() >= budget {
+                        return ProbeScan::Skipped;
+                    }
+                }
+            }
+            if faults_armed {
+                let site = format!("ivf.search.scan.{p}");
+                if let Err(e) =
+                    pqfs_fault::check("ivf.search.scan").and_then(|()| pqfs_fault::check(&site))
+                {
+                    return ProbeScan::Failed(IvfError::Probe {
+                        partition: p,
+                        message: e.to_string(),
+                    });
+                }
+            }
+            match panic::catch_unwind(AssertUnwindSafe(|| {
+                self.scan_partition(query, p, topk, backend, keep)
+            })) {
+                Ok(Ok(r)) => ProbeScan::Ok(r),
+                Ok(Err(e)) => ProbeScan::Failed(e),
+                Err(payload) => ProbeScan::Failed(IvfError::Probe {
+                    partition: p,
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
+        });
+
+        // Merge in probe order (determinism), collecting health as we go.
         let mut merged = pqfs_core::TopK::new(topk);
         let mut stats = ScanStats::default();
-        for (neighbors, s) in partials {
-            for n in neighbors {
-                merged.push(n.dist, n.id);
+        let mut health = SearchHealth::default();
+        let mut first_failure: Option<IvfError> = None;
+        for scan in scans {
+            match scan {
+                ProbeScan::Ok((neighbors, s)) => {
+                    health.probes_ok += 1;
+                    for n in neighbors {
+                        merged.push(n.dist, n.id);
+                    }
+                    stats.merge(&s);
+                }
+                ProbeScan::Failed(e) => {
+                    health.probes_failed += 1;
+                    first_failure.get_or_insert(e);
+                }
+                ProbeScan::Skipped => health.probes_skipped += 1,
             }
-            stats.merge(&s);
+        }
+        if health.probes_ok == 0 {
+            if let Some(e) = first_failure {
+                return Err(e);
+            }
         }
         Ok(SearchOutcome {
             neighbors: merged.into_sorted(),
             stats,
             partition: probes[0],
+            health,
         })
     }
 
@@ -770,6 +936,7 @@ mod tests {
                     .collect::<Vec<_>>(),
                 o.stats,
                 o.partition,
+                o.health,
             )
         };
         let serial = ThreadPool::new(1);
@@ -802,6 +969,113 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn healthy_queries_report_full_probe_coverage() {
+        let (index, base) = build_index(400);
+        let q = &base[..DIM];
+        let single = index.search(q, 5, SearchBackend::Naive, 0.0).unwrap();
+        assert_eq!(single.health, SearchHealth::healthy(1));
+        assert!(!single.health.degraded());
+        let multi = index
+            .search_probes(q, 5, SearchBackend::Naive, 0.0, 4)
+            .unwrap();
+        assert_eq!(multi.health, SearchHealth::healthy(4));
+    }
+
+    #[test]
+    fn injected_probe_failure_degrades_instead_of_erroring() {
+        let _lock = pqfs_fault::exclusive();
+        let (index, base) = build_index(600);
+        let q = &base[..DIM];
+        let full = index
+            .search_probes(q, 10, SearchBackend::Naive, 0.0, 4)
+            .unwrap();
+        assert_eq!(full.health, SearchHealth::healthy(4));
+
+        // Fail exactly the nearest partition's scan: the query still
+        // answers from the remaining probes and reports the gap.
+        let victim = full.partition;
+        let site = format!("ivf.search.scan.{victim}");
+        let _g = pqfs_fault::scoped(&site, pqfs_fault::FaultAction::Error);
+        let degraded = index
+            .search_probes(q, 10, SearchBackend::Naive, 0.0, 4)
+            .unwrap();
+        assert_eq!(degraded.health.probes_ok, 3);
+        assert_eq!(degraded.health.probes_failed, 1);
+        assert!(degraded.health.degraded());
+        // The surviving candidates are exactly the full result minus the
+        // victim partition's contribution.
+        let victim_ids: std::collections::HashSet<u64> = index
+            .search(q, 10, SearchBackend::Naive, 0.0)
+            .unwrap()
+            .neighbors
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        assert!(degraded
+            .neighbors
+            .iter()
+            .all(|n| !victim_ids.contains(&n.id)));
+    }
+
+    #[test]
+    fn all_probes_failing_returns_the_first_error() {
+        let _lock = pqfs_fault::exclusive();
+        let (index, base) = build_index(300);
+        let q = &base[..DIM];
+        let _g = pqfs_fault::scoped("ivf.search.scan", pqfs_fault::FaultAction::Error);
+        assert!(matches!(
+            index.search_probes(q, 5, SearchBackend::Naive, 0.0, 4),
+            Err(IvfError::Probe { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_still_answers_from_the_nearest_probe() {
+        let (index, base) = build_index(500);
+        let q = &base[..DIM];
+        let out = index
+            .search_probes_budgeted(
+                q,
+                8,
+                SearchBackend::Naive,
+                0.0,
+                4,
+                Some(std::time::Duration::ZERO),
+            )
+            .unwrap();
+        // Probe 0 always runs; an exhausted budget skips the rest.
+        assert_eq!(out.health.probes_ok, 1);
+        assert_eq!(out.health.probes_skipped, 3);
+        assert!(out.health.degraded());
+        let single = index.search(q, 8, SearchBackend::Naive, 0.0).unwrap();
+        let ids = |o: &SearchOutcome| o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>();
+        assert_eq!(ids(&out), ids(&single));
+        assert_eq!(out.partition, single.partition);
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbudgeted_search() {
+        let (index, base) = build_index(500);
+        let q = &base[..DIM];
+        let budgeted = index
+            .search_probes_budgeted(
+                q,
+                8,
+                SearchBackend::Naive,
+                0.0,
+                4,
+                Some(std::time::Duration::from_secs(3600)),
+            )
+            .unwrap();
+        let unbudgeted = index
+            .search_probes(q, 8, SearchBackend::Naive, 0.0, 4)
+            .unwrap();
+        let ids = |o: &SearchOutcome| o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>();
+        assert_eq!(ids(&budgeted), ids(&unbudgeted));
+        assert_eq!(budgeted.health, SearchHealth::healthy(4));
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub mod persist;
 
 pub use coarse::CoarseQuantizer;
 pub use error::IvfError;
-pub use index::{IvfadcConfig, IvfadcIndex, SearchBackend, SearchOutcome};
+pub use index::{IvfadcConfig, IvfadcIndex, SearchBackend, SearchHealth, SearchOutcome};

@@ -2,40 +2,58 @@
 //!
 //! Building an index over a large base set costs minutes of training and
 //! encoding; serving processes load the finished artifact instead. The
-//! format is little-endian and versioned:
+//! format is little-endian and versioned (`docs/FORMAT.md` has the full
+//! specification):
 //!
 //! ```text
-//! magic  "PQIV"          4 bytes
-//! version u32            currently 2
-//! dim     u64
-//! partitions u64
-//! coarse centroids       partitions × dim × f32
-//! embedded quantizer     pqfs-core persist format (length-prefixed, u64)
-//! backend set            u8 — v2: bitmask over `SearchBackend::ALL` order;
-//!                        v1 (still readable): 1 = naive+libpq+fastscan,
-//!                        0 = naive+libpq
-//! scan options (v2 only) keep f64, bins u16, group_components u8
-//!                        (255 = auto), kernel u8 (0 auto, 1 portable,
-//!                        2 ssse3, 3 avx2)
-//! per partition:
-//!   len   u64
-//!   ids   len × u64
-//!   codes len × m bytes
+//! magic   "PQIV"           4 bytes
+//! version u32              currently 3
+//! header  section          dim u64, partitions u64, backend mask u8,
+//!                          scan options (12 bytes)
+//! centroids section        partitions × dim × f32
+//! quantizer section        embedded pqfs-core persist format (v3)
+//! partition sections       one per partition: count u64, ids, codes
+//! footer  u32              CRC-32 of every preceding byte
 //! ```
+//!
+//! Every *section* is length-prefixed (`u64`) and CRC-32-checksummed;
+//! lengths and counts are validated against each other and against sanity
+//! limits **before** allocation, so a corrupt prefix yields a typed error
+//! instead of an OOM abort. The footer covers the whole file: any
+//! single-byte flip or truncation fails the load. Version 1 and 2 files
+//! (no checksums) are still read back losslessly.
+//!
+//! [`IvfadcIndex::save_file`] writes **atomically** (temp file + fsync +
+//! rename): a crash mid-save never corrupts the published artifact.
 //!
 //! Backend scan state (transposed layouts, Fast Scan grouping) is *rebuilt*
 //! on load through the scan registry (preparation is deterministic and
 //! costs a small fraction of what decoding the codes from disk does).
+//!
+//! Failpoint sites (see `pqfs_fault`): `ivf.persist.read`,
+//! `ivf.persist.write`, `ivf.persist.create`, `ivf.persist.fsync`,
+//! `ivf.persist.rename`.
 
 use crate::coarse::CoarseQuantizer;
 use crate::index::{IvfadcConfig, IvfadcIndex, SearchBackend};
-use pqfs_core::persist::{load_pq, save_pq, PersistError};
+use pqfs_core::checksum::{crc32, CrcRead, CrcWrite};
+use pqfs_core::persist::{
+    atomic_write_file, decode_f32s, expect_eof, load_pq, read_exact_vec, read_section, save_pq,
+    write_section, AtomicWriteSites, PersistError,
+};
+use pqfs_fault::FaultRead;
 use pqfs_scan::{Kernel, ScanOpts};
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"PQIV";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+
+/// Sanity limits applied before any size-driven allocation.
+const MAX_DIM: u64 = 1 << 20;
+const MAX_PARTITIONS: u64 = 1 << 24;
+const MAX_QUANTIZER_SECTION: u64 = 1 << 32;
+const MAX_PARTITION_SECTION: u64 = 1 << 40;
 
 /// Encodes a backend set as a bitmask over [`SearchBackend::ALL`] order.
 fn backends_to_mask(backends: &[SearchBackend]) -> u8 {
@@ -48,7 +66,7 @@ fn backends_to_mask(backends: &[SearchBackend]) -> u8 {
     mask
 }
 
-/// Encodes the scan options as the fixed 12-byte v2 block.
+/// Encodes the scan options as the fixed 12-byte block.
 fn write_scan_opts(w: &mut impl Write, opts: &ScanOpts) -> io::Result<()> {
     w.write_all(&opts.keep.to_le_bytes())?;
     w.write_all(&opts.bins.to_le_bytes())?;
@@ -67,7 +85,7 @@ fn write_scan_opts(w: &mut impl Write, opts: &ScanOpts) -> io::Result<()> {
     Ok(())
 }
 
-/// Decodes the fixed 12-byte v2 scan-options block.
+/// Decodes the fixed 12-byte scan-options block.
 fn read_scan_opts(r: &mut impl Read) -> Result<ScanOpts, PersistError> {
     let mut buf = [0u8; 12];
     r.read_exact(&mut buf)
@@ -76,7 +94,7 @@ fn read_scan_opts(r: &mut impl Read) -> Result<ScanOpts, PersistError> {
     if !(0.0..=1.0).contains(&keep) {
         return Err(PersistError::Format(format!("keep {keep} outside [0, 1]")));
     }
-    let bins = u16::from_le_bytes(buf[8..10].try_into().expect("2-byte slice"));
+    let bins = u16::from_le_bytes([buf[8], buf[9]]);
     let group_components = match buf[10] {
         u8::MAX => None,
         c if c <= 4 => Some(c as usize),
@@ -97,7 +115,7 @@ fn read_scan_opts(r: &mut impl Read) -> Result<ScanOpts, PersistError> {
     })
 }
 
-/// Decodes a v2 backend bitmask (unknown future bits are ignored).
+/// Decodes a backend bitmask (unknown future bits are ignored).
 fn mask_to_backends(mask: u8) -> Vec<SearchBackend> {
     SearchBackend::ALL
         .into_iter()
@@ -119,75 +137,240 @@ fn read_u64(r: &mut impl Read) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
-impl IvfadcIndex {
-    /// Writes the index to `w`.
-    pub fn save(&self, w: &mut impl Write) -> Result<(), PersistError> {
-        let dim = self.coarse().dim();
-        let parts = self.num_partitions();
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&(dim as u64).to_le_bytes())?;
-        w.write_all(&(parts as u64).to_le_bytes())?;
-        for p in 0..parts {
-            for &v in self.coarse().centroid(p) {
-                w.write_all(&v.to_le_bytes())?;
-            }
-        }
-        // Length-prefixed embedded quantizer.
-        let mut pq_bytes = Vec::new();
-        save_pq(self.pq(), &mut pq_bytes)?;
-        w.write_all(&(pq_bytes.len() as u64).to_le_bytes())?;
-        w.write_all(&pq_bytes)?;
-        w.write_all(&[backends_to_mask(&self.prepared_backends())])?;
-        write_scan_opts(w, self.scan_opts())?;
-        for p in 0..parts {
-            let (ids, codes) = self.partition_raw(p);
-            w.write_all(&(ids.len() as u64).to_le_bytes())?;
-            for &id in ids {
-                w.write_all(&id.to_le_bytes())?;
-            }
-            w.write_all(codes.as_bytes())?;
-        }
-        Ok(())
+/// Maps an EOF during a structured read to a typed truncation error.
+fn truncated(what: &'static str, e: io::Error) -> PersistError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        PersistError::Format(format!("truncated {what}"))
+    } else {
+        PersistError::Io(e)
     }
+}
 
-    /// Reads an index previously written by [`save`](Self::save).
+/// Reads a checksummed section whose length is not known a priori, bounded
+/// by `max` (rejected before allocation when exceeded).
+fn read_section_bounded(
+    r: &mut impl Read,
+    what: &'static str,
+    max: u64,
+) -> Result<Vec<u8>, PersistError> {
+    let len = read_u64(r).map_err(|e| truncated(what, e))?;
+    if len > max {
+        return Err(PersistError::Limit {
+            what,
+            value: len,
+            max,
+        });
+    }
+    let bytes = read_exact_vec(r, len, what)?;
+    let stored = read_u32(r).map_err(|e| truncated(what, e))?;
+    let computed = crc32(&bytes);
+    if stored != computed {
+        return Err(PersistError::Checksum {
+            section: what,
+            stored,
+            computed,
+        });
+    }
+    Ok(bytes)
+}
+
+impl IvfadcIndex {
+    /// Writes the index to `w` in format v3 (checksummed sections plus a
+    /// whole-file footer checksum).
     ///
     /// # Errors
     ///
-    /// [`PersistError`] on IO failures, bad magic/version, truncation or an
-    /// invalid embedded quantizer.
+    /// [`PersistError::Io`] on write failures.
+    pub fn save(&self, w: &mut impl Write) -> Result<(), PersistError> {
+        let dim = self.coarse().dim();
+        let parts = self.num_partitions();
+        let mut cw = CrcWrite::new(&mut *w);
+        cw.write_all(MAGIC)?;
+        cw.write_all(&VERSION.to_le_bytes())?;
+
+        let mut header = Vec::with_capacity(29);
+        header.extend_from_slice(&(dim as u64).to_le_bytes());
+        header.extend_from_slice(&(parts as u64).to_le_bytes());
+        header.push(backends_to_mask(&self.prepared_backends()));
+        write_scan_opts(&mut header, self.scan_opts())?;
+        write_section(&mut cw, &header)?;
+
+        let mut centroids = Vec::with_capacity(parts * dim * 4);
+        for p in 0..parts {
+            for &v in self.coarse().centroid(p) {
+                centroids.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        write_section(&mut cw, &centroids)?;
+
+        let mut pq_bytes = Vec::new();
+        save_pq(self.pq(), &mut pq_bytes)?;
+        write_section(&mut cw, &pq_bytes)?;
+
+        for p in 0..parts {
+            let (ids, codes) = self.partition_raw(p);
+            let mut payload = Vec::with_capacity(8 + ids.len() * 8 + codes.as_bytes().len());
+            payload.extend_from_slice(&(ids.len() as u64).to_le_bytes());
+            for &id in ids {
+                payload.extend_from_slice(&id.to_le_bytes());
+            }
+            payload.extend_from_slice(codes.as_bytes());
+            write_section(&mut cw, &payload)?;
+        }
+
+        let footer = cw.crc();
+        w.write_all(&footer.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Reads an index previously written by [`save`](Self::save) (v3) or
+    /// by the v1/v2 writers (no checksums).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] on IO failures, bad magic/version, truncation,
+    /// checksum mismatches, absurd stored sizes, or an invalid embedded
+    /// quantizer — never a panic.
     pub fn load(r: &mut impl Read) -> Result<Self, PersistError> {
+        let mut cr = CrcRead::new(&mut *r);
         let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
+        cr.read_exact(&mut magic)
+            .map_err(|e| truncated("magic", e))?;
         if &magic != MAGIC {
             return Err(PersistError::Format(format!("bad magic {magic:?}")));
         }
-        let version = read_u32(r)?;
-        if version == 0 || version > VERSION {
-            return Err(PersistError::Format(format!(
-                "unsupported version {version}"
-            )));
+        let version = read_u32(&mut cr).map_err(|e| truncated("version", e))?;
+        match version {
+            1 | 2 => Self::load_legacy(&mut cr, version),
+            3 => Self::load_v3(cr),
+            v => Err(PersistError::Format(format!(
+                "unsupported version {v} (this build reads 1, 2 and {VERSION})"
+            ))),
         }
-        let dim = read_u64(r)? as usize;
-        let parts = read_u64(r)? as usize;
+    }
+
+    /// The v3 body: checksummed sections plus the whole-file footer.
+    fn load_v3(mut cr: CrcRead<&mut impl Read>) -> Result<Self, PersistError> {
+        let header = read_section(&mut cr, "index header", 29)?;
+        let dim = u64::from_le_bytes(header[0..8].try_into().expect("8-byte slice"));
+        let parts = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+        let backends = mask_to_backends(header[16]);
+        let opts = read_scan_opts(&mut &header[17..29])?;
         if dim == 0 || parts == 0 {
             return Err(PersistError::Format(
                 "empty dimension or partition count".into(),
             ));
         }
-        let mut centroids = vec![0u8; parts * dim * 4];
-        r.read_exact(&mut centroids)
-            .map_err(|_| PersistError::Format("truncated coarse centroids".into()))?;
-        let centroids: Vec<f32> = centroids
-            .chunks_exact(4)
-            .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk")))
-            .collect();
+        if dim > MAX_DIM {
+            return Err(PersistError::Limit {
+                what: "dimension",
+                value: dim,
+                max: MAX_DIM,
+            });
+        }
+        if parts > MAX_PARTITIONS {
+            return Err(PersistError::Limit {
+                what: "partition count",
+                value: parts,
+                max: MAX_PARTITIONS,
+            });
+        }
 
-        let pq_len = read_u64(r)? as usize;
-        let mut pq_bytes = vec![0u8; pq_len];
-        r.read_exact(&mut pq_bytes)
-            .map_err(|_| PersistError::Format("truncated quantizer".into()))?;
+        let centroid_len = parts * dim * 4; // ≤ 2^46 by the limits above
+        let bytes = read_section(&mut cr, "coarse centroids", centroid_len)?;
+        let centroids = decode_f32s(&bytes, "coarse centroids")?;
+
+        let pq_bytes = read_section_bounded(&mut cr, "quantizer", MAX_QUANTIZER_SECTION)?;
+        let pq = load_pq(&mut pq_bytes.as_slice())?;
+        if pq.config().dim() as u64 != dim {
+            return Err(PersistError::Format(format!(
+                "quantizer dim {} != index dim {dim}",
+                pq.config().dim()
+            )));
+        }
+
+        let m = pq.config().m();
+        let mut partitions = Vec::with_capacity(parts as usize);
+        for _ in 0..parts {
+            let payload = read_section_bounded(&mut cr, "partition", MAX_PARTITION_SECTION)?;
+            if payload.len() < 8 {
+                return Err(PersistError::Format("partition section too short".into()));
+            }
+            let len = u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice"));
+            let expected = len.checked_mul(8 + m as u64).and_then(|b| b.checked_add(8));
+            if expected != Some(payload.len() as u64) {
+                return Err(PersistError::Format(format!(
+                    "partition claims {len} vectors but holds {} payload bytes",
+                    payload.len()
+                )));
+            }
+            let len = len as usize;
+            let ids: Vec<u64> = payload[8..8 + len * 8]
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+                .collect();
+            let codes = payload[8 + len * 8..].to_vec();
+            partitions.push((ids, codes));
+        }
+
+        let computed = cr.crc();
+        let inner = cr.into_inner();
+        let stored = read_u32(inner).map_err(|e| truncated("file footer", e))?;
+        if stored != computed {
+            return Err(PersistError::Checksum {
+                section: "file",
+                stored,
+                computed,
+            });
+        }
+        expect_eof(inner)?;
+
+        IvfadcIndex::from_parts(
+            CoarseQuantizer::from_centroids(centroids, dim as usize),
+            pq,
+            partitions,
+            &backends,
+            opts,
+        )
+        .map_err(|e| PersistError::Format(e.to_string()))
+    }
+
+    /// The legacy v1/v2 body (raw fields, no checksums), kept for lossless
+    /// read-back of artifacts written before format v3.
+    fn load_legacy(r: &mut impl Read, version: u32) -> Result<Self, PersistError> {
+        let dim = read_u64(r).map_err(|e| truncated("header", e))? as usize;
+        let parts = read_u64(r).map_err(|e| truncated("header", e))? as usize;
+        if dim == 0 || parts == 0 {
+            return Err(PersistError::Format(
+                "empty dimension or partition count".into(),
+            ));
+        }
+        if dim as u64 > MAX_DIM {
+            return Err(PersistError::Limit {
+                what: "dimension",
+                value: dim as u64,
+                max: MAX_DIM,
+            });
+        }
+        if parts as u64 > MAX_PARTITIONS {
+            return Err(PersistError::Limit {
+                what: "partition count",
+                value: parts as u64,
+                max: MAX_PARTITIONS,
+            });
+        }
+        let bytes = read_exact_vec(r, (parts * dim * 4) as u64, "coarse centroids")?;
+        let centroids = decode_f32s(&bytes, "coarse centroids")?;
+
+        let pq_len = read_u64(r).map_err(|e| truncated("quantizer length", e))?;
+        if pq_len > MAX_QUANTIZER_SECTION {
+            return Err(PersistError::Limit {
+                what: "quantizer length",
+                value: pq_len,
+                max: MAX_QUANTIZER_SECTION,
+            });
+        }
+        let pq_bytes = read_exact_vec(r, pq_len, "quantizer")?;
         let pq = load_pq(&mut pq_bytes.as_slice())?;
         if pq.config().dim() != dim {
             return Err(PersistError::Format(format!(
@@ -197,7 +380,8 @@ impl IvfadcIndex {
         }
 
         let mut flag = [0u8; 1];
-        r.read_exact(&mut flag)?;
+        r.read_exact(&mut flag)
+            .map_err(|e| truncated("backend flag", e))?;
         let (backends, opts) = if version == 1 {
             // v1 stored a single fastscan-enabled flag and no options.
             let backends = if flag[0] != 0 {
@@ -216,19 +400,13 @@ impl IvfadcIndex {
         let m = pq.config().m();
         let mut partitions = Vec::with_capacity(parts);
         for _ in 0..parts {
-            let len = read_u64(r)? as usize;
-            let mut ids = Vec::with_capacity(len);
-            let mut idbuf = vec![0u8; len * 8];
-            r.read_exact(&mut idbuf)
-                .map_err(|_| PersistError::Format("truncated partition ids".into()))?;
-            ids.extend(
-                idbuf
-                    .chunks_exact(8)
-                    .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
-            );
-            let mut codes = vec![0u8; len * m];
-            r.read_exact(&mut codes)
-                .map_err(|_| PersistError::Format("truncated partition codes".into()))?;
+            let len = read_u64(r).map_err(|e| truncated("partition length", e))? as usize;
+            let idbuf = read_exact_vec(r, (len * 8) as u64, "partition ids")?;
+            let ids: Vec<u64> = idbuf
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+                .collect();
+            let codes = read_exact_vec(r, (len * m) as u64, "partition codes")?;
             partitions.push((ids, codes));
         }
 
@@ -242,17 +420,34 @@ impl IvfadcIndex {
         .map_err(|e| PersistError::Format(e.to_string()))
     }
 
-    /// Saves to a file.
+    /// Saves to a file, atomically (temp file + fsync + rename): on any
+    /// failure the previously published artifact is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on any IO failure.
     pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
-        self.save(&mut w)?;
-        w.flush()?;
-        Ok(())
+        atomic_write_file(
+            path,
+            AtomicWriteSites {
+                create: "ivf.persist.create",
+                write: "ivf.persist.write",
+                fsync: "ivf.persist.fsync",
+                rename: "ivf.persist.rename",
+            },
+            |w| self.save(w),
+        )
     }
 
     /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// As [`load`](Self::load), plus [`PersistError::Io`] for open/read
+    /// failures.
     pub fn load_file(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let mut r = io::BufReader::new(std::fs::File::open(path)?);
+        let file = std::fs::File::open(path)?;
+        let mut r = io::BufReader::new(FaultRead::new(file, "ivf.persist.read"));
         Self::load(&mut r)
     }
 }
@@ -275,6 +470,40 @@ mod tests {
         let base = gen(&mut rng, 400);
         let index = IvfadcIndex::build(&train, &base, &IvfadcConfig::new(DIM, 4)).unwrap();
         (index, base)
+    }
+
+    /// Writes `index` in the legacy v2 layout (raw fields, no checksums),
+    /// replicating the pre-v3 writer so legacy read-back stays covered.
+    fn v2_bytes(index: &IvfadcIndex) -> Vec<u8> {
+        let dim = index.coarse().dim();
+        let parts = index.num_partitions();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&(dim as u64).to_le_bytes());
+        buf.extend_from_slice(&(parts as u64).to_le_bytes());
+        for p in 0..parts {
+            for &v in index.coarse().centroid(p) {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        // The embedded quantizer uses the *current* (v3) pqfs-core format;
+        // real v2 files embedded v1, which load_pq also still reads.
+        let mut pq_bytes = Vec::new();
+        save_pq(index.pq(), &mut pq_bytes).unwrap();
+        buf.extend_from_slice(&(pq_bytes.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&pq_bytes);
+        buf.push(super::backends_to_mask(&index.prepared_backends()));
+        write_scan_opts(&mut buf, index.scan_opts()).unwrap();
+        for p in 0..parts {
+            let (ids, codes) = index.partition_raw(p);
+            buf.extend_from_slice(&(ids.len() as u64).to_le_bytes());
+            for &id in ids {
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            buf.extend_from_slice(codes.as_bytes());
+        }
+        buf
     }
 
     #[test]
@@ -325,12 +554,27 @@ mod tests {
     }
 
     #[test]
+    fn v2_files_still_load_losslessly() {
+        let (index, base) = build();
+        let buf = v2_bytes(&index);
+        let loaded = IvfadcIndex::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), index.len());
+        assert_eq!(loaded.partition_sizes(), index.partition_sizes());
+        assert_eq!(loaded.prepared_backends(), index.prepared_backends());
+        let q = &base[..DIM];
+        let ids =
+            |o: &crate::index::SearchOutcome| o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>();
+        let a = index.search(q, 7, SearchBackend::FastScan, 0.01).unwrap();
+        let b = loaded.search(q, 7, SearchBackend::FastScan, 0.01).unwrap();
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
     fn v1_fastscan_flag_still_loads() {
         // A v1 writer stored `1` for naive+libpq+fastscan; synthesize that
         // file from a v2 buffer by patching version and mask bytes.
         let (index, _) = build();
-        let mut buf = Vec::new();
-        index.save(&mut buf).unwrap();
+        let mut buf = v2_bytes(&index);
         buf[4..8].copy_from_slice(&1u32.to_le_bytes());
         let mask_pos = backend_mask_position(&buf);
         buf[mask_pos] = 1;
@@ -340,8 +584,9 @@ mod tests {
         assert_eq!(loaded.prepared_backends(), IvfadcConfig::default_backends());
     }
 
-    /// Byte offset of the backend mask: after magic, version, dim,
-    /// partitions, centroids, and the length-prefixed quantizer.
+    /// Byte offset of the backend mask in a *legacy* buffer: after magic,
+    /// version, dim, partitions, centroids, and the length-prefixed
+    /// quantizer.
     fn backend_mask_position(buf: &[u8]) -> usize {
         let dim = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
         let parts = u64::from_le_bytes(buf[16..24].try_into().unwrap()) as usize;
@@ -424,5 +669,77 @@ mod tests {
 
         let truncated = &buf[..buf.len() / 2];
         assert!(IvfadcIndex::load(&mut &truncated[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_absurd_counts_before_allocating() {
+        // A legacy header claiming 2^50 partitions must fail on the Limit
+        // check, not OOM allocating centroid or partition buffers.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&16u64.to_le_bytes()); // dim
+        buf.extend_from_slice(&(1u64 << 50).to_le_bytes()); // partitions
+        assert!(matches!(
+            IvfadcIndex::load(&mut buf.as_slice()),
+            Err(PersistError::Limit { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_save_leaves_the_previous_artifact_intact() {
+        let _lock = pqfs_fault::exclusive();
+        let (index, _) = build();
+        let mut path = std::env::temp_dir();
+        path.push(format!("pqfs-ivf-atomic-{}.pqiv", std::process::id()));
+        index.save_file(&path).unwrap();
+        for site in [
+            "ivf.persist.create",
+            "ivf.persist.write",
+            "ivf.persist.fsync",
+            "ivf.persist.rename",
+        ] {
+            let _g = pqfs_fault::scoped(site, pqfs_fault::FaultAction::Error);
+            assert!(index.save_file(&path).is_err(), "{site}");
+            assert!(IvfadcIndex::load_file(&path).is_ok(), "{site}");
+        }
+        {
+            let _g = pqfs_fault::scoped(
+                "ivf.persist.write",
+                pqfs_fault::FaultAction::ShortWrite(1000),
+            );
+            assert!(index.save_file(&path).is_err());
+            assert!(IvfadcIndex::load_file(&path).is_ok());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_read_faults_surface_as_typed_errors() {
+        let _lock = pqfs_fault::exclusive();
+        let (index, _) = build();
+        let mut path = std::env::temp_dir();
+        path.push(format!("pqfs-ivf-readfault-{}.pqiv", std::process::id()));
+        index.save_file(&path).unwrap();
+
+        {
+            let _g = pqfs_fault::scoped("ivf.persist.read", pqfs_fault::FaultAction::Error);
+            assert!(matches!(
+                IvfadcIndex::load_file(&path),
+                Err(PersistError::Io(_))
+            ));
+        }
+        {
+            let _g =
+                pqfs_fault::scoped("ivf.persist.read", pqfs_fault::FaultAction::ShortRead(200));
+            assert!(IvfadcIndex::load_file(&path).is_err());
+        }
+        {
+            let _g = pqfs_fault::scoped("ivf.persist.read", pqfs_fault::FaultAction::BitFlip(321));
+            assert!(IvfadcIndex::load_file(&path).is_err());
+        }
+        // Disarmed again: the artifact is fine.
+        assert!(IvfadcIndex::load_file(&path).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 }

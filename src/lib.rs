@@ -22,7 +22,10 @@
 //!   (batch search, multi-probe fan-out, batch encoding, training) runs on;
 //! * [`data`] — synthetic SIFT-like datasets, TEXMEX file IO, ground truth;
 //! * [`metrics`] — statistics, recall, counter and cost models;
-//! * [`columnar`] — the §6 generalization to compressed column scans.
+//! * [`columnar`] — the §6 generalization to compressed column scans;
+//! * [`fault`] — deterministic fault injection (failpoints) used to test
+//!   the persistence and degraded-search paths; armed via the
+//!   `PQFS_FAILPOINTS` environment variable, a no-op when disarmed.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@
 pub use pqfs_columnar as columnar;
 pub use pqfs_core as core;
 pub use pqfs_data as data;
+pub use pqfs_fault as fault;
 pub use pqfs_ivf as ivf;
 pub use pqfs_kmeans as kmeans;
 pub use pqfs_metrics as metrics;
@@ -69,7 +73,7 @@ pub mod prelude {
         DistanceTables, Neighbor, PqConfig, ProductQuantizer, RowMajorCodes, TopK, TransposedCodes,
     };
     pub use pqfs_data::{exact_knn, SyntheticConfig, SyntheticDataset};
-    pub use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
+    pub use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend, SearchHealth};
     pub use pqfs_kmeans::{KMeans, KMeansConfig};
     pub use pqfs_metrics::{mvecs_per_sec, Summary};
     pub use pqfs_pool::ThreadPool;
