@@ -1,0 +1,67 @@
+//! Criterion benchmark of telemetry overhead on the hot query path.
+//!
+//! Runs the same `search_batch_on` workload as `batch_qps` twice — once
+//! with the global metrics registry enabled (the default) and once with
+//! recording disabled via [`pqfs_obs::set_enabled`] — so the cost of the
+//! sharded counters and histograms on the paper's throughput path is one
+//! comparison away. The budget is <2%: the single-probe path records a
+//! handful of relaxed atomics per *query* (never per scanned vector), so
+//! the two variants should be statistically indistinguishable.
+//!
+//! A third variant times the traced multi-probe entry point, quantifying
+//! what a `query --trace` waterfall costs relative to the untraced path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pqfs_bench::{synthetic_index, DIM};
+use pqfs_ivf::SearchBackend;
+use pqfs_pool::ThreadPool;
+
+const QUERIES: usize = 64;
+const THREADS: usize = 4;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let (index, queries) = synthetic_index(20_000, 8, QUERIES, 42);
+    let pool = ThreadPool::new(THREADS);
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group
+        .sample_size(10)
+        .throughput(Throughput::Elements(QUERIES as u64));
+    for (label, enabled) in [("telemetry_on", true), ("telemetry_off", false)] {
+        group.bench_function(BenchmarkId::new("search_batch", label), |b| {
+            pqfs_obs::set_enabled(enabled);
+            b.iter(|| {
+                index
+                    .search_batch_on(&queries, 100, SearchBackend::FastScan, 0.005, &pool)
+                    .unwrap()
+            });
+            pqfs_obs::set_enabled(true);
+        });
+    }
+    group.bench_function(BenchmarkId::new("search_probes_x4", "traced"), |b| {
+        let mut trace = pqfs_obs::QueryTrace::new();
+        b.iter(|| {
+            queries
+                .chunks_exact(DIM)
+                .map(|q| {
+                    index
+                        .search_probes_traced(
+                            q,
+                            100,
+                            SearchBackend::FastScan,
+                            0.005,
+                            4,
+                            None,
+                            &pool,
+                            &mut trace,
+                        )
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

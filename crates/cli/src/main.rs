@@ -8,13 +8,19 @@
 //! pqfs info    --index index.pqiv
 //! pqfs query   --index index.pqiv --queries q.fvecs [--topk 100]
 //!              [--backend <name>] [--keep 0.005] [--nprobe 1]
-//!              [--batch true] [--threads N]
+//!              [--batch true] [--threads N] [--trace true]
 //! ```
 //!
 //! `--backend` accepts any name from the scan registry (`pqfs query` run
 //! with an unknown name lists them). `--threads` caps the shared worker
 //! pool that build encoding, multi-probe search, and `--batch true` query
 //! execution run on (default: all cores, or `PQFS_THREADS`).
+//!
+//! Every command accepts `--metrics-out FILE`: on exit the process-wide
+//! telemetry registry is written there — Prometheus text exposition when
+//! the file ends in `.prom`/`.txt`, a JSON snapshot otherwise. `query
+//! --trace true` additionally prints a per-query stage waterfall (coarse
+//! quantization, per-probe table build + scan, merge) to stderr.
 //!
 //! Vector files use the TEXMEX `.fvecs` format (ANN_SIFT1B's float format),
 //! so the real corpus drops in directly.
@@ -93,6 +99,14 @@ fn main() -> ExitCode {
         }
         other => Err(CliError::Other(format!("unknown command '{other}'"))),
     };
+    // Metrics are written even for failed/degraded runs: that is exactly
+    // when the counters are most interesting.
+    if let Some(path) = args.get("metrics-out") {
+        if let Err(e) = write_metrics(path) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    }
     match result {
         Ok(Outcome::Clean) => ExitCode::SUCCESS,
         Ok(Outcome::Degraded) => {
@@ -110,6 +124,17 @@ fn main() -> ExitCode {
     }
 }
 
+/// Writes the global telemetry registry to `path`: Prometheus text for
+/// `.prom`/`.txt` files, a JSON snapshot otherwise.
+fn write_metrics(path: &str) -> std::io::Result<()> {
+    let text = if path.ends_with(".prom") || path.ends_with(".txt") {
+        pqfs_obs::global_prometheus_text()
+    } else {
+        pqfs_obs::global_json_snapshot()
+    };
+    std::fs::write(path, text)
+}
+
 /// The usage text, with the backend list pulled from the scan registry so
 /// new kernels show up here automatically.
 fn usage() -> String {
@@ -125,6 +150,7 @@ USAGE:
   pqfs query  --index <index.pqiv> --queries <file.fvecs> [--topk 100]
               [--backend <name>] [--keep 0.005] [--nprobe 1]
               [--deadline-ms N] [--batch true] [--threads N]
+              [--trace true]
 
   --threads N  size of the shared worker pool used by build encoding,
                multi-probe (--nprobe > 1) and batch (--batch true) queries.
@@ -137,6 +163,12 @@ USAGE:
                probe always runs, further probes are skipped once the
                budget is spent (skips are reported and exit code 3 flags
                the degraded run).
+  --trace true print a per-query stage waterfall (coarse quantization,
+               per-probe tables + scan, merge) to stderr. Not available
+               with --batch true.
+  --metrics-out <file>
+               write the telemetry registry on exit (any command):
+               Prometheus text for .prom/.txt files, JSON otherwise.
 
 EXIT CODES: 0 success | 1 error | 2 artifact load failure | 3 degraded
             results (probe failures or deadline skips)
@@ -320,21 +352,43 @@ fn cmd_query(args: &Args) -> Result<Outcome, CliError> {
         )));
     }
 
+    let tracing = args.get("trace").map(String::as_str) == Some("true");
     if args.get("batch").map(String::as_str) == Some("true") {
+        if tracing {
+            return Err(CliError::Other(
+                "--trace is per-query; it is not available with --batch true".into(),
+            ));
+        }
         return query_batch(&index, &queries.data, topk, backend, keep, nprobe, deadline);
     }
 
     let mut times = Vec::new();
     let mut degraded = false;
+    // One trace reused across queries (reset keeps its allocation).
+    let mut trace = pqfs_obs::QueryTrace::new();
     for (qi, q) in queries.data.chunks_exact(queries.dim).enumerate() {
         let (outcome, ms) = time_ms(|| {
-            if nprobe > 1 || deadline.is_some() {
+            if tracing {
+                index.search_probes_traced(
+                    q,
+                    topk,
+                    backend,
+                    keep,
+                    nprobe,
+                    deadline,
+                    pqfs_pool::ThreadPool::global(),
+                    &mut trace,
+                )
+            } else if nprobe > 1 || deadline.is_some() {
                 index.search_probes_budgeted(q, topk, backend, keep, nprobe, deadline)
             } else {
                 index.search(q, topk, backend, keep)
             }
         });
         let outcome = outcome.map_err(|e| CliError::Other(e.to_string()))?;
+        if tracing {
+            eprint!("query {qi} {}", trace.render_waterfall());
+        }
         times.push(ms);
         let preview: Vec<String> = outcome
             .neighbors

@@ -16,8 +16,12 @@
 //!
 //! let _lock = fault::exclusive(); // serialize registry use across tests
 //! let _guard = fault::scoped("demo.site", FaultAction::Error);
-//! assert!(fault::check("demo.site").is_err());
+//! if fault::armed() {
+//!     // With the default `failpoints` feature the armed site fires ...
+//!     assert!(fault::check("demo.site").is_err());
+//! }
 //! drop(_guard);
+//! // ... and a disarmed site (or a no-failpoints build) always passes.
 //! assert!(fault::check("demo.site").is_ok());
 //! ```
 //!
@@ -206,6 +210,14 @@ mod registry {
         reg.count.fetch_sub(n, Ordering::Relaxed);
     }
 
+    /// Injected faults by failpoint site, so operators can see which sites
+    /// are firing without parsing logs.
+    static INJECTED: pqfs_obs::CounterFamily = pqfs_obs::CounterFamily::new(
+        "pqfs_fault_injected_total",
+        "Faults injected, by failpoint site",
+        "site",
+    );
+
     /// Consumes one trigger of `site`: the armed action, or `None` when the
     /// site is disarmed (or its trigger budget is spent).
     pub fn take(site: &str) -> Option<FaultAction> {
@@ -223,6 +235,8 @@ mod registry {
                 reg.count.fetch_sub(1, Ordering::Relaxed);
             }
         }
+        drop(sites);
+        INJECTED.inc(site);
         Some(action)
     }
 
@@ -389,6 +403,20 @@ mod tests {
         assert_eq!(take("t.a"), None);
         disarm_all();
         assert!(!armed());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn injected_faults_are_counted_per_site() {
+        let _lock = exclusive();
+        let site = "t.metrics.site";
+        let before = pqfs_obs::counter_value("pqfs_fault_injected_total", Some(("site", site)));
+        arm_limited(site, FaultAction::Error, 2);
+        assert!(check(site).is_err());
+        assert!(check(site).is_err());
+        assert!(check(site).is_ok(), "budget spent");
+        let after = pqfs_obs::counter_value("pqfs_fault_injected_total", Some(("site", site)));
+        assert_eq!(after - before, 2, "exactly the fired triggers are counted");
     }
 
     #[test]

@@ -4,14 +4,161 @@
 use crate::coarse::CoarseQuantizer;
 use crate::IvfError;
 use pqfs_core::{DistanceTables, Neighbor, PqConfig, ProductQuantizer, RowMajorCodes};
+use pqfs_obs::{LazyCounter, LazyHistogram, ProbeOutcome, ProbeTrace, QueryTrace};
 use pqfs_pool::ThreadPool;
 use pqfs_scan::{
-    PreparedScanner, ScanError, ScanOpts, ScanParams, ScanResult, ScanScratch, ScanStats,
+    PerBackendStats, PreparedScanner, ScanError, ScanOpts, ScanParams, ScanResult, ScanScratch,
+    ScanStats,
 };
 use std::cell::RefCell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+static QUERIES: LazyCounter = LazyCounter::new("pqfs_ivf_queries_total", "IVF queries served");
+static PROBES_OK: LazyCounter = LazyCounter::labeled(
+    "pqfs_ivf_probes_total",
+    "Probed partitions by outcome",
+    "outcome",
+    "ok",
+);
+static PROBES_FAILED: LazyCounter = LazyCounter::labeled(
+    "pqfs_ivf_probes_total",
+    "Probed partitions by outcome",
+    "outcome",
+    "failed",
+);
+static PROBES_SKIPPED: LazyCounter = LazyCounter::labeled(
+    "pqfs_ivf_probes_total",
+    "Probed partitions by outcome",
+    "outcome",
+    "skipped",
+);
+static PROBES_DEADLINE: LazyCounter = LazyCounter::labeled(
+    "pqfs_ivf_probes_total",
+    "Probed partitions by outcome",
+    "outcome",
+    "deadline",
+);
+static TABLES_BUILT: LazyCounter = LazyCounter::new(
+    "pqfs_ivf_tables_built_total",
+    "Distance-table computations (Algorithm 1 step 2)",
+);
+static TABLES_WASTED: LazyCounter = LazyCounter::new(
+    "pqfs_ivf_tables_wasted_total",
+    "Table computations short-circuited because the query deadline had already expired",
+);
+static COARSE_NS: LazyHistogram = LazyHistogram::new(
+    "pqfs_ivf_coarse_ns",
+    "Coarse quantization (partition selection) latency",
+);
+static TABLES_NS: LazyHistogram = LazyHistogram::new(
+    "pqfs_ivf_tables_ns",
+    "Per-probe distance-table build latency",
+);
+static SCAN_NS: LazyHistogram =
+    LazyHistogram::new("pqfs_ivf_scan_ns", "Per-probe partition scan latency");
+static MERGE_NS: LazyHistogram = LazyHistogram::new("pqfs_ivf_merge_ns", "Result merge latency");
+static TOTAL_NS: LazyHistogram = LazyHistogram::new("pqfs_ivf_query_ns", "Whole-query latency");
+
+const SCANNED_HELP: &str = "Vectors scanned, by backend";
+const PRUNED_HELP: &str = "Vectors pruned by the lower-bound test, by backend";
+/// Per-backend scanned/pruned counters, indexed by the backend's position
+/// in [`SearchBackend::ALL`] (see [`backend_slot`]).
+static SCANNED_BY_BACKEND: [LazyCounter; 6] = [
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_scanned_total",
+        SCANNED_HELP,
+        "backend",
+        "naive",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_scanned_total",
+        SCANNED_HELP,
+        "backend",
+        "libpq",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_scanned_total",
+        SCANNED_HELP,
+        "backend",
+        "avx",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_scanned_total",
+        SCANNED_HELP,
+        "backend",
+        "gather",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_scanned_total",
+        SCANNED_HELP,
+        "backend",
+        "quantize-only",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_scanned_total",
+        SCANNED_HELP,
+        "backend",
+        "fastscan",
+    ),
+];
+static PRUNED_BY_BACKEND: [LazyCounter; 6] = [
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_pruned_total",
+        PRUNED_HELP,
+        "backend",
+        "naive",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_pruned_total",
+        PRUNED_HELP,
+        "backend",
+        "libpq",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_pruned_total",
+        PRUNED_HELP,
+        "backend",
+        "avx",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_pruned_total",
+        PRUNED_HELP,
+        "backend",
+        "gather",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_pruned_total",
+        PRUNED_HELP,
+        "backend",
+        "quantize-only",
+    ),
+    LazyCounter::labeled(
+        "pqfs_scan_vectors_pruned_total",
+        PRUNED_HELP,
+        "backend",
+        "fastscan",
+    ),
+];
+// The counter arrays above are positional over SearchBackend::ALL.
+const _: () = assert!(pqfs_scan::Backend::ALL.len() == 6);
+
+/// Index of `backend` in [`SearchBackend::ALL`] (the per-backend counter
+/// arrays are positional over it).
+fn backend_slot(backend: SearchBackend) -> usize {
+    SearchBackend::ALL
+        .iter()
+        .position(|&b| b == backend)
+        .expect("SearchBackend::ALL covers every variant")
+}
+
+/// Records one completed scan's counters for `backend`.
+fn record_scan_counters(backend: SearchBackend, stats: &ScanStats) {
+    let slot = backend_slot(backend);
+    SCANNED_BY_BACKEND[slot].add(stats.scanned);
+    PRUNED_BY_BACKEND[slot].add(stats.pruned);
+}
 
 /// Per-thread query state reused across queries: the residual buffer, the
 /// distance tables of Algorithm 1's step 2, and the Fast Scan quantized
@@ -196,13 +343,30 @@ pub struct SearchOutcome {
     /// Probe coverage (check [`SearchHealth::degraded`] before trusting
     /// the result set to be complete).
     pub health: SearchHealth,
+    /// `stats` broken down by scan backend (multi-probe queries may mix
+    /// backends; the flat sum alone loses that attribution).
+    pub by_backend: PerBackendStats,
+}
+
+/// One probe's completed scan, with per-stage timings when requested
+/// (`tables_ns`/`scan_ns` stay 0 when timing is off).
+#[derive(Default)]
+struct ProbeSuccess {
+    neighbors: Vec<Neighbor>,
+    stats: ScanStats,
+    tables_ns: u64,
+    scan_ns: u64,
 }
 
 /// One probe's contribution to a multi-probe query.
 enum ProbeScan {
-    Ok((Vec<Neighbor>, ScanStats)),
+    Ok(ProbeSuccess),
     Failed(IvfError),
+    /// Skipped before starting: the deadline budget was already exhausted.
     Skipped,
+    /// Started, but the deadline expired before the table build — the
+    /// probe short-circuited instead of computing tables it cannot use.
+    Expired,
 }
 
 /// Best-effort description of a caught scan panic.
@@ -338,13 +502,25 @@ impl IvfadcIndex {
         if topk == 0 {
             return Err(IvfError::Config("topk must be positive".into()));
         }
+        // Single-probe search is the batch-QPS hot path: one optional
+        // timestamp for the whole-query histogram, no per-stage timing.
+        let t0 = pqfs_obs::enabled().then(Instant::now);
         let p = self.coarse.assign(query);
         let (neighbors, stats) = self.scan_partition(query, p, topk, backend, keep)?;
+        QUERIES.inc();
+        PROBES_OK.inc();
+        record_scan_counters(backend, &stats);
+        if let Some(t0) = t0 {
+            TOTAL_NS.observe(t0.elapsed());
+        }
+        let mut by_backend = PerBackendStats::new();
+        by_backend.record(backend, &stats);
         Ok(SearchOutcome {
             neighbors,
             stats,
             partition: p,
             health: SearchHealth::healthy(1),
+            by_backend,
         })
     }
 
@@ -451,6 +627,58 @@ impl IvfadcIndex {
         deadline: Option<Duration>,
         pool: &ThreadPool,
     ) -> Result<SearchOutcome, IvfError> {
+        self.search_probes_inner(query, topk, backend, keep, nprobe, deadline, pool, None)
+    }
+
+    /// [`search_probes_budgeted_on`](Self::search_probes_budgeted_on) that
+    /// additionally fills a per-query [`QueryTrace`]: stage timings
+    /// (coarse quantization, per-probe table build and scan, merge) and one
+    /// [`ProbeTrace`] per probe with its backend, outcome and pruning
+    /// counters. The trace is [reset](QueryTrace::reset) first, so one
+    /// trace can be reused across queries without reallocating.
+    ///
+    /// Tracing forces per-stage timestamps on, so a traced query is
+    /// slightly slower than an untraced one; results are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// As [`search_probes`](Self::search_probes).
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_probes_traced(
+        &self,
+        query: &[f32],
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+        nprobe: usize,
+        deadline: Option<Duration>,
+        pool: &ThreadPool,
+        trace: &mut QueryTrace,
+    ) -> Result<SearchOutcome, IvfError> {
+        self.search_probes_inner(
+            query,
+            topk,
+            backend,
+            keep,
+            nprobe,
+            deadline,
+            pool,
+            Some(trace),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_probes_inner(
+        &self,
+        query: &[f32],
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+        nprobe: usize,
+        deadline: Option<Duration>,
+        pool: &ThreadPool,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> Result<SearchOutcome, IvfError> {
         if query.len() != self.dim {
             return Err(IvfError::DimMismatch {
                 expected: self.dim,
@@ -460,7 +688,13 @@ impl IvfadcIndex {
         if topk == 0 || nprobe == 0 {
             return Err(IvfError::Config("topk and nprobe must be positive".into()));
         }
+        if let Some(t) = trace.as_deref_mut() {
+            t.reset();
+        }
+        let want_timing = trace.is_some() || pqfs_obs::enabled();
+        let t_begin = want_timing.then(Instant::now);
         let probes = self.coarse.assign_multi(query, nprobe);
+        let coarse_ns = t_begin.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let start = Instant::now();
         // One relaxed load when no failpoint is armed anywhere; the
         // per-probe site string is only built under an armed registry.
@@ -484,10 +718,26 @@ impl IvfadcIndex {
                     });
                 }
             }
+            // The nearest probe never short-circuits: a query always
+            // returns a best-so-far answer even under a zero budget.
+            let probe_deadline = if i > 0 {
+                deadline.map(|budget| (start, budget))
+            } else {
+                None
+            };
             match panic::catch_unwind(AssertUnwindSafe(|| {
-                self.scan_partition(query, p, topk, backend, keep)
+                self.scan_partition_timed(
+                    query,
+                    p,
+                    topk,
+                    backend,
+                    keep,
+                    want_timing,
+                    probe_deadline,
+                )
             })) {
-                Ok(Ok(r)) => ProbeScan::Ok(r),
+                Ok(Ok(Some(success))) => ProbeScan::Ok(success),
+                Ok(Ok(None)) => ProbeScan::Expired,
                 Ok(Err(e)) => ProbeScan::Failed(e),
                 Err(payload) => ProbeScan::Failed(IvfError::Probe {
                     partition: p,
@@ -497,24 +747,63 @@ impl IvfadcIndex {
         });
 
         // Merge in probe order (determinism), collecting health as we go.
+        let merge_t0 = want_timing.then(Instant::now);
         let mut merged = pqfs_core::TopK::new(topk);
         let mut stats = ScanStats::default();
+        let mut by_backend = PerBackendStats::new();
         let mut health = SearchHealth::default();
         let mut first_failure: Option<IvfError> = None;
-        for scan in scans {
-            match scan {
-                ProbeScan::Ok((neighbors, s)) => {
+        for (scan, &p) in scans.into_iter().zip(&probes) {
+            let probe_trace = match scan {
+                ProbeScan::Ok(success) => {
+                    let ProbeSuccess {
+                        neighbors,
+                        stats: s,
+                        tables_ns,
+                        scan_ns,
+                    } = success;
                     health.probes_ok += 1;
+                    PROBES_OK.inc();
                     for n in neighbors {
                         merged.push(n.dist, n.id);
                     }
                     stats.merge(&s);
+                    by_backend.record(backend, &s);
+                    record_scan_counters(backend, &s);
+                    TABLES_NS.observe_ns(tables_ns);
+                    SCAN_NS.observe_ns(scan_ns);
+                    ProbeTrace {
+                        partition: p,
+                        backend: backend.name(),
+                        outcome: ProbeOutcome::Ok,
+                        scanned: s.scanned,
+                        pruned: s.pruned,
+                        tables_ns,
+                        scan_ns,
+                    }
                 }
                 ProbeScan::Failed(e) => {
                     health.probes_failed += 1;
+                    PROBES_FAILED.inc();
                     first_failure.get_or_insert(e);
+                    ProbeTrace::outcome_only(p, backend.name(), ProbeOutcome::Failed)
                 }
-                ProbeScan::Skipped => health.probes_skipped += 1,
+                ProbeScan::Skipped => {
+                    health.probes_skipped += 1;
+                    PROBES_SKIPPED.inc();
+                    ProbeTrace::outcome_only(p, backend.name(), ProbeOutcome::Skipped)
+                }
+                // An expired probe contributed nothing, like a skip; the
+                // distinct trace outcome records that it *started* and was
+                // cut off at the table-build short-circuit.
+                ProbeScan::Expired => {
+                    health.probes_skipped += 1;
+                    PROBES_DEADLINE.inc();
+                    ProbeTrace::outcome_only(p, backend.name(), ProbeOutcome::Deadline)
+                }
+            };
+            if let Some(t) = trace.as_deref_mut() {
+                t.probes.push(probe_trace);
             }
         }
         if health.probes_ok == 0 {
@@ -522,11 +811,23 @@ impl IvfadcIndex {
                 return Err(e);
             }
         }
+        QUERIES.inc();
+        COARSE_NS.observe_ns(coarse_ns);
+        let merge_ns = merge_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let total_ns = t_begin.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        MERGE_NS.observe_ns(merge_ns);
+        TOTAL_NS.observe_ns(total_ns);
+        if let Some(t) = trace {
+            t.coarse_ns = coarse_ns;
+            t.merge_ns = merge_ns;
+            t.total_ns = total_ns;
+        }
         Ok(SearchOutcome {
             neighbors: merged.into_sorted(),
             stats,
             partition: probes[0],
             health,
+            by_backend,
         })
     }
 
@@ -589,18 +890,56 @@ impl IvfadcIndex {
         backend: SearchBackend,
         keep: f64,
     ) -> Result<(Vec<Neighbor>, ScanStats), IvfError> {
+        let success = self
+            .scan_partition_timed(query, p, topk, backend, keep, false, None)?
+            .expect("a scan without a deadline never expires");
+        Ok((success.neighbors, success.stats))
+    }
+
+    /// [`scan_partition`](Self::scan_partition) with optional stage timing
+    /// and deadline short-circuiting.
+    ///
+    /// Returns `Ok(None)` when `deadline` had already expired on entry: the
+    /// probe gives up *before* computing distance tables (the most
+    /// expensive per-probe fixed cost), so a blown budget does not waste
+    /// table work whose scan would be skipped anyway. Wasted builds avoided
+    /// this way are counted in `pqfs_ivf_tables_wasted_total`.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_partition_timed(
+        &self,
+        query: &[f32],
+        p: usize,
+        topk: usize,
+        backend: SearchBackend,
+        keep: f64,
+        want_timing: bool,
+        deadline: Option<(Instant, Duration)>,
+    ) -> Result<Option<ProbeSuccess>, IvfError> {
         let partition = &self.partitions[p];
         if partition.ids.is_empty() {
-            return Ok((Vec::new(), ScanStats::default()));
+            return Ok(Some(ProbeSuccess::default()));
         }
 
         SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
 
+            // Re-check the budget at the last moment before the table
+            // build: the probe may have queued behind slower siblings since
+            // the pre-dispatch check.
+            if let Some((start, budget)) = deadline {
+                if start.elapsed() >= budget {
+                    TABLES_WASTED.inc();
+                    return Ok(None);
+                }
+            }
+
             // Step 2: distance tables on the query residual.
+            let t0 = want_timing.then(Instant::now);
             scratch.residual.resize(self.dim, 0.0);
             self.coarse.residual_into(query, p, &mut scratch.residual);
             scratch.tables.recompute(&self.pq, &scratch.residual)?;
+            TABLES_BUILT.inc();
+            let t1 = want_timing.then(Instant::now);
 
             // Step 3: scan, through the backend registry — no per-backend
             // dispatch here; whatever was prepared at build time can serve.
@@ -620,6 +959,7 @@ impl IvfadcIndex {
                 &ScanParams::new(topk).with_keep(keep),
                 &mut scratch.scan,
             )?;
+            let t2 = want_timing.then(Instant::now);
 
             // Translate partition positions to global ids.
             let neighbors = result
@@ -630,7 +970,16 @@ impl IvfadcIndex {
                     id: partition.ids[n.id as usize],
                 })
                 .collect();
-            Ok((neighbors, result.stats))
+            let stage_ns = |a: Option<Instant>, b: Option<Instant>| match (a, b) {
+                (Some(a), Some(b)) => b.duration_since(a).as_nanos() as u64,
+                _ => 0,
+            };
+            Ok(Some(ProbeSuccess {
+                neighbors,
+                stats: result.stats,
+                tables_ns: stage_ns(t0, t1),
+                scan_ns: stage_ns(t1, t2),
+            }))
         })
     }
 
@@ -1054,6 +1403,127 @@ mod tests {
         let ids = |o: &SearchOutcome| o.neighbors.iter().map(|n| n.id).collect::<Vec<_>>();
         assert_eq!(ids(&out), ids(&single));
         assert_eq!(out.partition, single.partition);
+    }
+
+    #[test]
+    fn expired_probe_short_circuits_before_the_table_build() {
+        let _lock = pqfs_fault::exclusive();
+        let (index, base) = build_index(500);
+        let q = &base[..DIM];
+        let probes = index.coarse().assign_multi(q, 4);
+        // Serial pool, delay injected on the fault site of the first
+        // later probe with a non-empty partition (empty partitions have no
+        // table build to short-circuit): the earlier probes complete, the
+        // victim stalls past the deadline inside its fault check and must
+        // short-circuit at the table-build re-check, and every probe after
+        // it is skipped by the pre-dispatch check.
+        let sizes = index.partition_sizes();
+        let victim = (1..probes.len())
+            .find(|&i| sizes[probes[i]] > 0)
+            .expect("some later probe has a non-empty partition");
+        let pool = ThreadPool::new(1);
+        let _g = pqfs_fault::scoped(
+            format!("ivf.search.scan.{}", probes[victim]),
+            pqfs_fault::FaultAction::Delay(300),
+        );
+        #[cfg(feature = "telemetry")]
+        let wasted_before = pqfs_obs::counter_value("pqfs_ivf_tables_wasted_total", None);
+        let mut trace = QueryTrace::new();
+        let out = index
+            .search_probes_traced(
+                q,
+                8,
+                SearchBackend::Naive,
+                0.0,
+                4,
+                Some(std::time::Duration::from_millis(150)),
+                &pool,
+                &mut trace,
+            )
+            .unwrap();
+        assert_eq!(out.health.probes_ok, victim);
+        assert_eq!(out.health.probes_skipped, probes.len() - victim);
+        let outcomes: Vec<ProbeOutcome> = trace.probes.iter().map(|p| p.outcome).collect();
+        let expected: Vec<ProbeOutcome> = (0..probes.len())
+            .map(|i| match i.cmp(&victim) {
+                std::cmp::Ordering::Less => ProbeOutcome::Ok,
+                std::cmp::Ordering::Equal => ProbeOutcome::Deadline,
+                std::cmp::Ordering::Greater => ProbeOutcome::Skipped,
+            })
+            .collect();
+        assert_eq!(outcomes, expected);
+        #[cfg(feature = "telemetry")]
+        assert_eq!(
+            pqfs_obs::counter_value("pqfs_ivf_tables_wasted_total", None),
+            wasted_before + 1,
+            "the expired probe must count exactly one avoided table build"
+        );
+    }
+
+    #[test]
+    fn traced_search_records_every_stage_and_probe() {
+        let (index, base) = build_index(500);
+        let q = &base[..DIM];
+        let pool = ThreadPool::new(1);
+        let mut trace = QueryTrace::new();
+        let out = index
+            .search_probes_traced(
+                q,
+                8,
+                SearchBackend::FastScan,
+                0.01,
+                4,
+                None,
+                &pool,
+                &mut trace,
+            )
+            .unwrap();
+        assert_eq!(trace.probes.len(), 4);
+        assert!(trace.probes.iter().all(|p| p.outcome == ProbeOutcome::Ok));
+        assert!(trace.probes.iter().all(|p| p.backend == "fastscan"));
+        assert_eq!(
+            trace.probes.iter().map(|p| p.scanned).sum::<u64>(),
+            out.stats.scanned
+        );
+        assert!(trace.total_ns > 0);
+        // On a serial pool every stage is a disjoint slice of the wall time.
+        assert!(trace.stage_sum_ns() <= trace.total_ns);
+        let waterfall = trace.render_waterfall();
+        assert!(waterfall.contains("coarse_quantize"));
+        assert!(waterfall.contains("fastscan"));
+
+        // The trace resets cleanly for reuse on a second query.
+        let probes_cap = trace.probes.capacity();
+        index
+            .search_probes_traced(q, 8, SearchBackend::Naive, 0.0, 2, None, &pool, &mut trace)
+            .unwrap();
+        assert_eq!(trace.probes.len(), 2);
+        assert!(trace.probes.capacity() >= probes_cap.min(2));
+        assert!(trace.probes.iter().all(|p| p.backend == "naive"));
+    }
+
+    #[test]
+    fn by_backend_breakdown_matches_flat_stats() {
+        let (index, base) = build_index(500);
+        let q = &base[..DIM];
+        let single = index.search(q, 8, SearchBackend::Naive, 0.0).unwrap();
+        assert_eq!(
+            single.by_backend.get(SearchBackend::Naive).scanned,
+            single.stats.scanned
+        );
+        assert_eq!(single.by_backend.total(), single.stats);
+
+        let multi = index
+            .search_probes(q, 8, SearchBackend::FastScan, 0.01, 4)
+            .unwrap();
+        assert_eq!(multi.by_backend.total(), multi.stats);
+        assert_eq!(
+            multi.by_backend.get(SearchBackend::FastScan).scanned,
+            multi.stats.scanned
+        );
+        assert_eq!(multi.by_backend.get(SearchBackend::Naive).scanned, 0);
+        let nonzero: Vec<_> = multi.by_backend.iter_nonzero().map(|(b, _)| b).collect();
+        assert_eq!(nonzero, vec![SearchBackend::FastScan]);
     }
 
     #[test]

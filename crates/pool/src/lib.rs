@@ -75,12 +75,21 @@ pub fn default_threads() -> usize {
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 
+static POOL_THREADS: pqfs_obs::LazyGauge = pqfs_obs::LazyGauge::new(
+    "pqfs_pool_threads",
+    "Participating threads of the global pool (workers plus submitter)",
+);
+
 impl ThreadPool {
     /// The process-wide shared pool, created on first use with
     /// [`default_threads`] workers. Long-lived: its threads persist for the
     /// life of the process and are shared by every caller in the workspace.
     pub fn global() -> &'static ThreadPool {
-        GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+        GLOBAL.get_or_init(|| {
+            let pool = ThreadPool::new(default_threads());
+            POOL_THREADS.set(pool.threads() as u64);
+            pool
+        })
     }
 }
 

@@ -1,11 +1,47 @@
 //! The executor: worker threads, per-worker deques, scoped task groups.
 
+use pqfs_obs::{LazyCounter, LazyGauge};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+static TASKS: LazyCounter = LazyCounter::new(
+    "pqfs_pool_tasks_total",
+    "Pool tasks executed (by workers and by helping submitter threads)",
+);
+static STEALS: LazyCounter = LazyCounter::new(
+    "pqfs_pool_steals_total",
+    "Pool tasks taken from another thread's deque",
+);
+static BUSY_NS: LazyCounter = LazyCounter::new(
+    "pqfs_pool_busy_ns_total",
+    "Nanoseconds spent executing pool tasks",
+);
+static QUEUE_HWM: LazyGauge = LazyGauge::new(
+    "pqfs_pool_queue_depth_hwm",
+    "High-water mark of tasks queued across all deques",
+);
+
+/// Executes one job, counting it and its busy time.
+fn run_job(job: Job) {
+    run_inline(job)
+}
+
+/// [`run_job`] for un-boxed thunks (the serial inline path counts too, so
+/// the task counters are pool-size-independent).
+fn run_inline(thunk: impl FnOnce()) {
+    TASKS.inc();
+    if pqfs_obs::enabled() {
+        let start = std::time::Instant::now();
+        thunk();
+        BUSY_NS.add(start.elapsed().as_nanos() as u64);
+    } else {
+        thunk();
+    }
+}
 
 /// A type-erased unit of work. Scoped borrows are transmuted to `'static`
 /// before a job enters a deque; soundness is argued at the transmute site.
@@ -38,7 +74,8 @@ impl Shared {
     fn push(&self, job: Job) {
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len();
         self.deques[i].lock().unwrap().push_back(job);
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        let depth = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        QUEUE_HWM.record_max(depth as u64);
         // Taking the lot lock orders this wake-up against a worker that just
         // observed `pending == 0` and is about to sleep.
         let _lot = self.lot.lock().unwrap();
@@ -59,6 +96,7 @@ impl Shared {
             let i = (me + k) % self.deques.len();
             if let Some(job) = self.deques[i].lock().unwrap().pop_front() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
+                STEALS.inc();
                 return Some(job);
             }
         }
@@ -75,6 +113,7 @@ impl Shared {
             let i = (start + k) % self.deques.len();
             if let Some(job) = self.deques[i].lock().unwrap().pop_front() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
+                STEALS.inc();
                 return Some(job);
             }
         }
@@ -85,7 +124,7 @@ impl Shared {
 fn worker_loop(shared: Arc<Shared>, me: usize) {
     loop {
         if let Some(job) = shared.grab(me) {
-            job();
+            run_job(job);
             continue;
         }
         let lot = shared.lot.lock().unwrap();
@@ -160,7 +199,7 @@ impl ThreadPool {
             .map(|me| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("pqfs-pool-{me}"))
+                    .name(format!("pqfs-worker-{me}"))
                     .spawn(move || worker_loop(shared, me))
                     .expect("spawn pool worker")
             })
@@ -197,7 +236,7 @@ impl ThreadPool {
         if self.workers.is_empty() || thunks.len() == 1 {
             // Serial baseline: run inline, panics propagate natively.
             for thunk in thunks {
-                thunk();
+                run_inline(thunk);
             }
             return;
         }
@@ -210,7 +249,7 @@ impl ThreadPool {
                         state.poisoned.store(true, Ordering::Relaxed);
                         let mut slot = state.panic.lock().unwrap();
                         if slot.is_none() {
-                            *slot = Some(payload);
+                            *slot = Some(annotate_panic(payload));
                         }
                     }
                 }
@@ -235,7 +274,7 @@ impl ThreadPool {
         // nested scopes deadlock-free) until this scope completes.
         while state.remaining.load(Ordering::Acquire) != 0 {
             if let Some(job) = self.shared.steal_any() {
-                job();
+                run_job(job);
             } else {
                 // Nothing queued anywhere: our stragglers are running on
                 // workers. Park until the last one flips `done`. The timeout
@@ -408,6 +447,26 @@ impl ThreadPool {
                 .map(|(start, piece)| move || f(start, piece))
                 .collect(),
         );
+    }
+}
+
+/// Rewrites a string-like panic payload to carry the name of the thread it
+/// fired on (e.g. `boom [on pqfs-worker-2]`), so a panic propagated from a
+/// pool worker to the submitting thread still attributes to its origin.
+/// Non-string payloads pass through untouched.
+fn annotate_panic(payload: Box<dyn std::any::Any + Send>) -> Box<dyn std::any::Any + Send> {
+    let thread = std::thread::current();
+    let Some(name) = thread.name() else {
+        return payload;
+    };
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else {
+        payload.downcast_ref::<String>().cloned()
+    };
+    match msg {
+        Some(m) => Box::new(format!("{m} [on {name}]")),
+        None => payload,
     }
 }
 
@@ -615,6 +674,56 @@ mod tests {
             x
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn worker_threads_are_named_for_profilers() {
+        let pool = ThreadPool::new(4);
+        let names: Vec<&str> = pool
+            .workers
+            .iter()
+            .map(|w| w.thread().name().expect("worker must be named"))
+            .collect();
+        assert_eq!(
+            names,
+            vec!["pqfs-worker-0", "pqfs-worker-1", "pqfs-worker-2"]
+        );
+    }
+
+    #[test]
+    fn propagated_panics_name_the_executing_thread() {
+        // Every thread that can execute a scoped task here is named (pool
+        // workers always; the libtest main thread carries the test name), so
+        // the payload must gain the `[on …]` suffix.
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = (0..100).collect();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_map(&items, |_, &x| {
+                if x == 42 {
+                    panic!("kaboom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("kaboom at 42"), "unexpected payload: {msg}");
+        assert!(msg.contains(" [on "), "missing thread attribution: {msg}");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn pool_work_moves_the_task_counters() {
+        let before = pqfs_obs::counter_value("pqfs_pool_tasks_total", None);
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = pool.parallel_map(&items, |_, &x| x + 1);
+        assert_eq!(out.len(), items.len());
+        let after = pqfs_obs::counter_value("pqfs_pool_tasks_total", None);
+        assert!(
+            after > before,
+            "parallel_map must execute counted tasks ({before} -> {after})"
+        );
     }
 
     #[test]
