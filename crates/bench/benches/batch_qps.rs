@@ -7,6 +7,8 @@
 //! are timed separately: the latter exercises the intra-query fan-out of
 //! `search_probes` on the same pool.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pqfs_bench::{synthetic_index, DIM};
 use pqfs_ivf::SearchBackend;

@@ -1,0 +1,58 @@
+//! Criterion benchmark of `checked-kernels` shadow-execution overhead on
+//! the batch-throughput path.
+//!
+//! The workload is the same `search_batch_on` loop as `batch_qps`, under
+//! the same benchmark id in every compilation, so Criterion's saved
+//! baseline reports the delta directly across runs:
+//!
+//! ```text
+//! cargo bench -p pqfs_bench --bench checked_kernels_overhead
+//! cargo bench -p pqfs_bench --bench checked_kernels_overhead --features checked-kernels
+//! ```
+//!
+//! The first run (feature compiled out) is the baseline: shadow checking
+//! costs exactly 0% because no checking code exists in the binary. The
+//! second run samples one shadow execution per
+//! [`DEFAULT_CHECK_RATE`](pqfs_scan::checked::DEFAULT_CHECK_RATE) = 64
+//! kernel invocations (override with `PQFS_CHECK_RATE`); the budget for
+//! the reported change is **<5% of batch QPS**. Unsampled invocations pay
+//! one relaxed fetch-add, so nearly all of the delta is the 1-in-64
+//! portable re-scan.
+
+#![forbid(unsafe_code)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pqfs_bench::synthetic_index;
+use pqfs_ivf::SearchBackend;
+use pqfs_pool::ThreadPool;
+
+const QUERIES: usize = 64;
+const THREADS: usize = 4;
+
+fn bench_checked_kernels_overhead(c: &mut Criterion) {
+    let variant = if cfg!(feature = "checked-kernels") {
+        "checked-kernels ON (sampled shadow execution)"
+    } else {
+        "checked-kernels OFF (baseline)"
+    };
+    eprintln!("checked_kernels_overhead variant: {variant}");
+
+    let (index, queries) = synthetic_index(20_000, 8, QUERIES, 42);
+    let pool = ThreadPool::new(THREADS);
+
+    let mut group = c.benchmark_group("checked_kernels_overhead");
+    group
+        .sample_size(10)
+        .throughput(Throughput::Elements(QUERIES as u64));
+    group.bench_function(BenchmarkId::new("search_batch", "fastscan"), |b| {
+        b.iter(|| {
+            index
+                .search_batch_on(&queries, 100, SearchBackend::FastScan, 0.005, &pool)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checked_kernels_overhead);
+criterion_main!(benches);

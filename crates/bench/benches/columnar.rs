@@ -1,6 +1,8 @@
 //! Criterion benchmark of the §6 compressed-column kernels: exact vs
 //! small-table top-k and exact vs approximate mean.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pqfs_columnar::{approximate_mean, topk_max_fast, CompressedColumn};
 use rand::rngs::StdRng;

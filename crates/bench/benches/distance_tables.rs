@@ -2,6 +2,8 @@
 //! and of the ADC distance itself — the costs the paper folds into the
 //! "<1 % of CPU time" steps.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pqfs_bench::Fixture;
 use pqfs_core::DistanceTables;

@@ -1,6 +1,8 @@
 //! Criterion benchmark of the clustering substrate: sub-quantizer training
 //! (Lloyd) and the same-size k-means used by the optimized assignment.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pqfs_kmeans::{train, train_same_size, KMeansConfig, SameSizeConfig};
 use rand::rngs::StdRng;

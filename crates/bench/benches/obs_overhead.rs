@@ -11,6 +11,8 @@
 //! A third variant times the traced multi-probe entry point, quantifying
 //! what a `query --trace` waterfall costs relative to the untraced path.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pqfs_bench::{synthetic_index, DIM};
 use pqfs_ivf::SearchBackend;

@@ -3,6 +3,8 @@
 //! every `Backend::ALL` entry is measured, so kernels added to the registry
 //! show up here automatically.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pqfs_bench::Fixture;
 use pqfs_scan::{Backend, Kernel, ScanOpts, ScanParams};

@@ -11,6 +11,8 @@
 //! cargo run --release -p pqfs-bench --bin ablation
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, scale, Fixture};
 use pqfs_metrics::{fmt_f, mvecs_per_sec, time_ms, Summary, TextTable};
 use pqfs_scan::{FastScanIndex, FastScanOptions, Kernel, ScanParams};

@@ -5,6 +5,8 @@
 //! cargo run --release -p pqfs-bench --bin columnar
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, scale};
 use pqfs_columnar::{approximate_mean, topk_max_fast, CompressedColumn};
 use pqfs_metrics::{fmt_count, fmt_f, measure_ms, Summary, TextTable};

@@ -2,6 +2,8 @@
 //! tightness per component, threshold evolution — to explain the observed
 //! pruning power.
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, Fixture};
 use pqfs_core::DistanceTables;
 use pqfs_scan::fastscan::grouping::{group_key, GroupedCodes};

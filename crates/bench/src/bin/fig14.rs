@@ -9,6 +9,8 @@
 //! cargo run --release -p pqfs-bench --bin fig14
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, scale, Fixture, DIM};
 use pqfs_metrics::{fmt_f, time_ms, Summary, TextTable};
 use pqfs_scan::{Backend, ScanOpts, ScanParams};

@@ -6,6 +6,8 @@
 //! cargo run --release -p pqfs-bench --bin fig15
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, scale, Fixture, DIM};
 use pqfs_metrics::{
     fastscan_ops, fmt_f, measure_ms, pqscan_ops, FastScanProfile, PqScanImpl, Summary, TextTable,

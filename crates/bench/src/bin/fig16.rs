@@ -10,6 +10,8 @@
 //! cargo run --release -p pqfs-bench --bin fig16
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, scaled_partition_sizes, Fixture};
 use pqfs_metrics::{fmt_f, mvecs_per_sec, time_ms, Summary, TextTable};
 use pqfs_scan::{Backend, PreparedScanner, ScanOpts, ScanParams};

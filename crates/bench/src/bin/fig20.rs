@@ -7,6 +7,8 @@
 //! SCALE: PQFS_SCALE=4 cargo run --release -p pqfs-bench --bin fig20
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, host_description, scale, Fixture, DIM};
 use pqfs_data::{SyntheticConfig, SyntheticDataset};
 use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};

@@ -9,6 +9,8 @@
 //! cargo run --release -p pqfs-bench --bin fig3
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, scale, Fixture, DIM};
 use pqfs_metrics::{fmt_f, measure_ms, mvecs_per_sec, pqscan_ops, PqScanImpl, Summary, TextTable};
 use pqfs_scan::{Backend, ScanOpts, ScanParams};

@@ -13,6 +13,8 @@
 //! Environment: `PQFS_N` (base vectors), `PQFS_QUERIES` (batch size),
 //! `PQFS_REPS` (timed repetitions; the median is reported).
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, synthetic_index};
 use pqfs_ivf::SearchBackend;
 use pqfs_metrics::{fmt_count, measure_ms, Summary};

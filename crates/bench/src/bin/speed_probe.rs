@@ -2,6 +2,8 @@
 //! (kernel-bound at topk=1, verification-heavy at topk=1000) and comparing
 //! against the scalar baselines.
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, Fixture};
 use pqfs_metrics::{measure_ms, mvecs_per_sec, Summary};
 use pqfs_scan::{Backend, FastScanIndex, FastScanOptions, ScanOpts, ScanParams};

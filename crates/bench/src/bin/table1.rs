@@ -5,6 +5,8 @@
 //! cargo run --release -p pqfs-bench --bin table1
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::header;
 use pqfs_core::PqConfig;
 use pqfs_metrics::{table_cache_level, CacheLevel, TextTable};

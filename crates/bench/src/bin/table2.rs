@@ -5,6 +5,8 @@
 //! cargo run --release -p pqfs-bench --bin table2
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, Fixture};
 use pqfs_metrics::{measure_ms, Summary, TextTable, GATHER, PSHUFB};
 use pqfs_scan::{Backend, ScanOpts, ScanParams};

@@ -9,6 +9,8 @@
 //! cargo run --release -p pqfs-bench --bin table3
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pqfs_bench::{env_usize, header, scale, DIM, TABLE3_QUERIES, TABLE3_SIZES_M};
 use pqfs_data::{SyntheticConfig, SyntheticDataset};
 use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};

@@ -12,6 +12,8 @@
 //! Workloads are synthetic SIFT-like mixtures (see `pqfs-data`); DESIGN.md
 //! documents why this substitution preserves the paper's effects.
 
+#![forbid(unsafe_code)]
+
 use pqfs_core::{DistanceTables, PqConfig, ProductQuantizer, RowMajorCodes};
 use pqfs_data::{SyntheticConfig, SyntheticDataset};
 use pqfs_ivf::{IvfadcConfig, IvfadcIndex};

@@ -25,6 +25,8 @@
 //! Vector files use the TEXMEX `.fvecs` format (ANN_SIFT1B's float format),
 //! so the real corpus drops in directly.
 
+#![forbid(unsafe_code)]
+
 use pqfs_data::{read_fvecs, write_fvecs, SyntheticConfig, SyntheticDataset};
 use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
 use pqfs_metrics::{fmt_count, time_ms, Summary};

@@ -73,8 +73,8 @@ pub fn approximate_sum(column: &CompressedColumn) -> ApproxAggregate {
 fn sum_quantized(codes: &[u8], qmeans: &[u8; PORTION]) -> u64 {
     #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
     {
-        if std::arch::is_x86_feature_detected!("ssse3") {
-            // SAFETY: feature detected.
+        if std::arch::is_x86_feature_detected!("sse4.1") {
+            // SAFETY: SSE4.1 (which implies the SSSE3 shuffle) detected.
             return unsafe { sum_quantized_ssse3(codes, qmeans) };
         }
     }
@@ -88,18 +88,26 @@ fn sum_quantized_portable(codes: &[u8], qmeans: &[u8; PORTION]) -> u64 {
         .sum()
 }
 
+/// # Safety
+///
+/// The caller must verify SSE4.1 support at runtime
+/// (`is_x86_feature_detected!("sse4.1")` — SSE4.1 implies SSSE3) before
+/// calling: the kernel uses `pshufb` (SSSE3) and `pextrq` (SSE4.1).
 #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
-#[target_feature(enable = "ssse3")]
+#[target_feature(enable = "ssse3,sse4.1")]
 unsafe fn sum_quantized_ssse3(codes: &[u8], qmeans: &[u8; PORTION]) -> u64 {
     use std::arch::x86_64::*;
-    let table = _mm_loadu_si128(qmeans.as_ptr() as *const __m128i);
+    // SAFETY: `qmeans` is a `[u8; 16]` — exactly one unaligned 128-bit load.
+    let table = unsafe { _mm_loadu_si128(qmeans.as_ptr() as *const __m128i) };
     let low = _mm_set1_epi8(0x0F);
     let zero = _mm_setzero_si128();
     let mut total = 0u64;
     let chunks = codes.chunks_exact(PORTION);
     let remainder = chunks.remainder();
     for chunk in chunks {
-        let block = _mm_loadu_si128(chunk.as_ptr() as *const __m128i);
+        // SAFETY: `chunks_exact(16)` yields 16-byte slices, matching the
+        // unaligned 128-bit load.
+        let block = unsafe { _mm_loadu_si128(chunk.as_ptr() as *const __m128i) };
         let idx = _mm_and_si128(_mm_srli_epi16::<4>(block), low);
         let vals = _mm_shuffle_epi8(table, idx);
         // psadbw against zero: lane sums of 8 bytes land in the two 64-bit

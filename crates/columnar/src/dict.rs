@@ -38,7 +38,7 @@ impl Dictionary {
             values.iter().all(|v| v.is_finite()),
             "values must be finite"
         );
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values.sort_by(f32::total_cmp); // entries asserted finite above
         Dictionary { values }
     }
 
@@ -52,7 +52,7 @@ impl Dictionary {
         assert!(!data.is_empty(), "cannot build a dictionary from no data");
         assert!(size > 0 && size <= MAX_DICT);
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+        sorted.sort_by(f32::total_cmp);
         let mut values: Vec<f32> = (0..size)
             .map(|i| {
                 let rank = i as f64 / (size.max(2) - 1) as f64 * (sorted.len() - 1) as f64;
@@ -122,7 +122,10 @@ impl Dictionary {
 
     /// Minimum of each portion (for top-k-smallest queries / lower bounds).
     pub fn portion_minima(&self) -> [f32; PORTION] {
-        let fill = *self.values.last().expect("non-empty");
+        let fill = *self
+            .values
+            .last()
+            .unwrap_or_else(|| unreachable!("dictionary is never empty"));
         let mut out = [fill; PORTION];
         for (p, chunk) in self.values.chunks(PORTION).enumerate() {
             out[p] = chunk.iter().copied().fold(f32::INFINITY, f32::min);

@@ -27,6 +27,8 @@
 //! assert!((mean.value - column.exact_mean()).abs() <= mean.error_bound);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod aggregate;
 pub mod column;
 pub mod dict;

@@ -149,7 +149,12 @@ pub fn topk_max_fast(column: &CompressedColumn, k: usize) -> TopKResult {
         };
     }
     let values = dict.values();
-    let quant = UpQuantizer::new(values[0], *values.last().expect("non-empty dict"));
+    let quant = UpQuantizer::new(
+        values[0],
+        *values
+            .last()
+            .unwrap_or_else(|| unreachable!("dictionary is never empty")),
+    );
 
     // The §6 maximum table, quantized upward.
     let maxima = dict.portion_maxima();
@@ -229,12 +234,22 @@ fn block_candidates_portable(chunk: &[u8], qmax: &[u8; PORTION], threshold: u8) 
     mask
 }
 
+/// # Safety
+///
+/// The caller must verify SSSE3 support at runtime
+/// (`is_x86_feature_detected!("ssse3")`) and pass a `chunk` of at least 16
+/// bytes.
 #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
 #[target_feature(enable = "ssse3")]
 unsafe fn block_candidates_ssse3(chunk: &[u8], qmax: &[u8; PORTION], threshold: u8) -> u16 {
     use std::arch::x86_64::*;
-    let table = _mm_loadu_si128(qmax.as_ptr() as *const __m128i);
-    let codes = _mm_loadu_si128(chunk.as_ptr() as *const __m128i);
+    debug_assert!(chunk.len() >= PORTION, "chunk shorter than one block");
+    // SAFETY: `qmax` is a `[u8; 16]` — the unaligned 128-bit load stays in
+    // bounds.
+    let table = unsafe { _mm_loadu_si128(qmax.as_ptr() as *const __m128i) };
+    // SAFETY: `chunk` has at least 16 bytes (caller contract, asserted
+    // above) — the unaligned 128-bit load stays in bounds.
+    let codes = unsafe { _mm_loadu_si128(chunk.as_ptr() as *const __m128i) };
     let low = _mm_set1_epi8(0x0F);
     let idx = _mm_and_si128(_mm_srli_epi16::<4>(codes), low);
     let bounds = _mm_shuffle_epi8(table, idx);
@@ -320,6 +335,8 @@ mod tests {
         let chunk: Vec<u8> = (0..16).map(|i| (i * 37 % 256) as u8).collect();
         for t in [0u8, 50, 130, 255] {
             let portable = block_candidates_portable(&chunk, &qmax, t);
+            // SAFETY: SSSE3 support checked at the top of the test; the
+            // chunk holds 16 bytes.
             let simd = unsafe { block_candidates_ssse3(&chunk, &qmax, t) };
             assert_eq!(portable, simd, "t={t}");
         }

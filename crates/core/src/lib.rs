@@ -35,6 +35,8 @@
 //! assert!(approx.is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod checksum;
 pub mod codebook;
 pub mod config;

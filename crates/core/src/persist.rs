@@ -301,12 +301,21 @@ fn build_codebooks(config: PqConfig, floats: Vec<f32>) -> ProductQuantizer {
     ProductQuantizer::from_codebooks(config, codebooks)
 }
 
+/// Little-endian `u64` from an 8-byte slice (sliced from a checked-length
+/// section, so the conversion cannot fail).
+fn read_le_u64(bytes: &[u8]) -> u64 {
+    let arr: [u8; 8] = bytes
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("caller slices exactly 8 bytes"));
+    u64::from_le_bytes(arr)
+}
+
 /// The v3 body: checksummed header and codebook sections plus the
 /// whole-file footer.
 fn load_pq_v3(mut cr: CrcRead<&mut impl Read>) -> Result<ProductQuantizer, PersistError> {
     let header = read_section(&mut cr, "quantizer header", 17)?;
-    let dim = u64::from_le_bytes(header[0..8].try_into().unwrap());
-    let m = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let dim = read_le_u64(&header[0..8]);
+    let m = read_le_u64(&header[8..16]);
     let config = parse_header(dim, m, header[16])?;
 
     let expected = config.m() as u64 * config.ksub() as u64 * config.dsub() as u64 * 4;

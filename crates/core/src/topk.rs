@@ -117,7 +117,11 @@ impl TopK {
         if !self.is_full() {
             return true;
         }
-        let worst = self.heap.peek().expect("full heap has a root").0;
+        let worst = self
+            .heap
+            .peek()
+            .unwrap_or_else(|| unreachable!("full heap has a root"))
+            .0;
         cmp_neighbors(&Neighbor { dist, id }, &worst) == std::cmp::Ordering::Less
     }
 
@@ -129,7 +133,11 @@ impl TopK {
             self.heap.push(HeapItem(cand));
             return true;
         }
-        let worst = self.heap.peek().expect("full heap has a root").0;
+        let worst = self
+            .heap
+            .peek()
+            .unwrap_or_else(|| unreachable!("full heap has a root"))
+            .0;
         if cmp_neighbors(&cand, &worst) == std::cmp::Ordering::Less {
             self.heap.pop();
             self.heap.push(HeapItem(cand));

@@ -59,6 +59,8 @@
 //! wall-clock time or thread scheduling — so an armed test fails the same
 //! way on every run and pool size.
 
+#![forbid(unsafe_code)]
+
 mod io_wrap;
 mod spec;
 
@@ -109,7 +111,7 @@ mod registry {
     use super::{injected_error, FaultAction, FaultSpecError};
     use std::collections::HashMap;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
     struct Failpoint {
         action: FaultAction,
@@ -155,7 +157,7 @@ mod registry {
     }
 
     fn arm_in(reg: &Registry, site: String, action: FaultAction, remaining: Option<u64>) {
-        let mut sites = reg.sites.lock().unwrap();
+        let mut sites = reg.sites.lock().unwrap_or_else(PoisonError::into_inner);
         if sites
             .insert(site, Failpoint { action, remaining })
             .is_none()
@@ -165,7 +167,7 @@ mod registry {
     }
 
     fn disarm_in(reg: &Registry, site: &str) {
-        let mut sites = reg.sites.lock().unwrap();
+        let mut sites = reg.sites.lock().unwrap_or_else(PoisonError::into_inner);
         if sites.remove(site).is_some() {
             reg.count.fetch_sub(1, Ordering::Relaxed);
         }
@@ -204,7 +206,7 @@ mod registry {
     /// Disarms every site.
     pub fn disarm_all() {
         let reg = registry();
-        let mut sites = reg.sites.lock().unwrap();
+        let mut sites = reg.sites.lock().unwrap_or_else(PoisonError::into_inner);
         let n = sites.len();
         sites.clear();
         reg.count.fetch_sub(n, Ordering::Relaxed);
@@ -225,7 +227,7 @@ mod registry {
             return None;
         }
         let reg = registry();
-        let mut sites = reg.sites.lock().unwrap();
+        let mut sites = reg.sites.lock().unwrap_or_else(PoisonError::into_inner);
         let fp = sites.get_mut(site)?;
         let action = fp.action;
         if let Some(remaining) = &mut fp.remaining {

@@ -150,7 +150,7 @@ fn backend_slot(backend: SearchBackend) -> usize {
     SearchBackend::ALL
         .iter()
         .position(|&b| b == backend)
-        .expect("SearchBackend::ALL covers every variant")
+        .unwrap_or_else(|| unreachable!("SearchBackend::ALL covers every variant"))
 }
 
 /// Records one completed scan's counters for `backend`.
@@ -892,7 +892,7 @@ impl IvfadcIndex {
     ) -> Result<(Vec<Neighbor>, ScanStats), IvfError> {
         let success = self
             .scan_partition_timed(query, p, topk, backend, keep, false, None)?
-            .expect("a scan without a deadline never expires");
+            .unwrap_or_else(|| unreachable!("a scan without a deadline never expires"));
         Ok((success.neighbors, success.stats))
     }
 

@@ -50,6 +50,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod coarse;
 mod error;
 pub mod index;

@@ -85,12 +85,29 @@ fn write_scan_opts(w: &mut impl Write, opts: &ScanOpts) -> io::Result<()> {
     Ok(())
 }
 
+/// Little-endian `u64` from an 8-byte slice (callers slice exact lengths
+/// out of already length-checked buffers, so the conversion cannot fail).
+fn le_u64(bytes: &[u8]) -> u64 {
+    let arr: [u8; 8] = bytes
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("caller slices exactly 8 bytes"));
+    u64::from_le_bytes(arr)
+}
+
+/// Little-endian `f64`, same contract as [`le_u64`].
+fn le_f64(bytes: &[u8]) -> f64 {
+    let arr: [u8; 8] = bytes
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("caller slices exactly 8 bytes"));
+    f64::from_le_bytes(arr)
+}
+
 /// Decodes the fixed 12-byte scan-options block.
 fn read_scan_opts(r: &mut impl Read) -> Result<ScanOpts, PersistError> {
     let mut buf = [0u8; 12];
     r.read_exact(&mut buf)
         .map_err(|_| PersistError::Format("truncated scan options".into()))?;
-    let keep = f64::from_le_bytes(buf[0..8].try_into().expect("8-byte slice"));
+    let keep = le_f64(&buf[0..8]);
     if !(0.0..=1.0).contains(&keep) {
         return Err(PersistError::Format(format!("keep {keep} outside [0, 1]")));
     }
@@ -252,8 +269,8 @@ impl IvfadcIndex {
     /// The v3 body: checksummed sections plus the whole-file footer.
     fn load_v3(mut cr: CrcRead<&mut impl Read>) -> Result<Self, PersistError> {
         let header = read_section(&mut cr, "index header", 29)?;
-        let dim = u64::from_le_bytes(header[0..8].try_into().expect("8-byte slice"));
-        let parts = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+        let dim = le_u64(&header[0..8]);
+        let parts = le_u64(&header[8..16]);
         let backends = mask_to_backends(header[16]);
         let opts = read_scan_opts(&mut &header[17..29])?;
         if dim == 0 || parts == 0 {
@@ -296,7 +313,7 @@ impl IvfadcIndex {
             if payload.len() < 8 {
                 return Err(PersistError::Format("partition section too short".into()));
             }
-            let len = u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice"));
+            let len = le_u64(&payload[0..8]);
             let expected = len.checked_mul(8 + m as u64).and_then(|b| b.checked_add(8));
             if expected != Some(payload.len() as u64) {
                 return Err(PersistError::Format(format!(
@@ -307,7 +324,7 @@ impl IvfadcIndex {
             let len = len as usize;
             let ids: Vec<u64> = payload[8..8 + len * 8]
                 .chunks_exact(8)
-                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+                .map(le_u64)
                 .collect();
             let codes = payload[8 + len * 8..].to_vec();
             partitions.push((ids, codes));
@@ -402,10 +419,7 @@ impl IvfadcIndex {
         for _ in 0..parts {
             let len = read_u64(r).map_err(|e| truncated("partition length", e))? as usize;
             let idbuf = read_exact_vec(r, (len * 8) as u64, "partition ids")?;
-            let ids: Vec<u64> = idbuf
-                .chunks_exact(8)
-                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
-                .collect();
+            let ids: Vec<u64> = idbuf.chunks_exact(8).map(le_u64).collect();
             let codes = read_exact_vec(r, (len * m) as u64, "partition codes")?;
             partitions.push((ids, codes));
         }

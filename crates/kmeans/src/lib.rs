@@ -31,6 +31,8 @@
 //! assert_eq!(c0, c1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod distance;
 mod error;
 pub mod lloyd;

@@ -163,10 +163,7 @@ pub fn train_same_size(
             }
             mn - mx // most negative = cares most
         };
-        spread(row_a)
-            .partial_cmp(&spread(row_b))
-            .unwrap()
-            .then(a.cmp(&b))
+        spread(row_a).total_cmp(&spread(row_b)).then(a.cmp(&b))
     });
     let mut assignment = vec![u32::MAX; n];
     let mut remaining = vec![capacity; k];

@@ -1,0 +1,504 @@
+//! A minimal Rust lexer, sufficient for invariant checking.
+//!
+//! The lint does not need a full parser: every invariant it enforces is
+//! visible in the token stream — `unsafe` keywords and the comments around
+//! them, `.unwrap()` call chains, string-literal failpoint sites and metric
+//! names, and crate-root inner attributes. The lexer therefore produces a
+//! flat token list with line numbers, keeps comments as tokens (the SAFETY
+//! check needs them), and marks the regions under `#[cfg(test)]` so checks
+//! can skip test-only code.
+//!
+//! Handled: line/block comments (nested), doc comments, string / raw-string
+//! / byte-string / char literals (with escapes), lifetimes vs. char
+//! literals, raw identifiers, and numeric literals. Not handled (and not
+//! needed): macro expansion and type resolution.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `unsafe`, `fn`, …).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String literal of any flavor; `text` holds the *unescaped* contents.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// `//` or `/* */` comment; `text` holds the contents without markers.
+    Comment,
+    /// `///`, `//!`, `/** */` or `/*! */` doc comment.
+    DocComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (contents for strings/comments, spelling otherwise).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// True when the token sits inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// True for non-comment tokens (the ones syntax patterns match on).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::Comment | TokKind::DocComment)
+    }
+}
+
+/// Lexes `src` into tokens and marks `#[cfg(test)]` regions.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut toks = raw_lex(src);
+    mark_test_regions(&mut toks);
+    toks
+}
+
+fn raw_lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let push = |toks: &mut Vec<Tok>, kind: TokKind, text: String, line: u32| {
+        toks.push(Tok {
+            kind,
+            text,
+            line,
+            in_test: false,
+        });
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                let body: String = chars[start..j].iter().collect();
+                let doc = body.starts_with('/') && !body.starts_with("//") || body.starts_with('!');
+                let text = body.trim_start_matches(['/', '!']).trim_start().to_string();
+                push(
+                    &mut toks,
+                    if doc {
+                        TokKind::DocComment
+                    } else {
+                        TokKind::Comment
+                    },
+                    text,
+                    line,
+                );
+                i = j;
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let tok_line = line;
+                let mut j = i + 2;
+                let doc =
+                    j < n && (chars[j] == '*' || chars[j] == '!') && chars.get(j + 1) != Some(&'/');
+                let mut depth = 1usize;
+                let start = j;
+                while j < n && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                let text: String = chars[start..end].iter().collect();
+                push(
+                    &mut toks,
+                    if doc {
+                        TokKind::DocComment
+                    } else {
+                        TokKind::Comment
+                    },
+                    text.trim().to_string(),
+                    tok_line,
+                );
+                i = j;
+                continue;
+            }
+        }
+        // Identifiers, keywords and prefixed literals (r"", b"", br"", r#id).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let ident: String = chars[start..j].iter().collect();
+            // String-literal prefixes.
+            let is_raw_start = |k: usize| -> Option<usize> {
+                // Returns index of the opening quote after `#`s.
+                let mut h = k;
+                while h < n && chars[h] == '#' {
+                    h += 1;
+                }
+                (h < n && chars[h] == '"').then_some(h)
+            };
+            if (ident == "r" || ident == "br" || ident == "b" || ident == "rb")
+                && j < n
+                && (chars[j] == '"' || (chars[j] == '#' && ident != "b"))
+            {
+                if ident == "b" && chars[j] == '"' {
+                    // Byte string: lex like a normal string.
+                    let (text, nj, nl) = lex_string(&chars, j, line);
+                    push(&mut toks, TokKind::Str, text, line);
+                    i = nj;
+                    line = nl;
+                    continue;
+                }
+                if let Some(q) = is_raw_start(j) {
+                    let hashes = q - j;
+                    let mut closing = String::from('"');
+                    for _ in 0..hashes {
+                        closing.push('#');
+                    }
+                    let mut k = q + 1;
+                    let content_start = k;
+                    let tok_line = line;
+                    loop {
+                        if k >= n {
+                            break;
+                        }
+                        if chars[k] == '\n' {
+                            line += 1;
+                        }
+                        if chars[k] == '"' {
+                            let tail: String =
+                                chars[k..(k + closing.len()).min(n)].iter().collect();
+                            if tail == closing {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    let text: String = chars[content_start..k.min(n)].iter().collect();
+                    push(&mut toks, TokKind::Str, text, tok_line);
+                    i = (k + closing.len()).min(n);
+                    continue;
+                }
+            }
+            if ident == "r"
+                && j + 1 < n
+                && chars[j] == '#'
+                && (chars[j + 1].is_alphabetic() || chars[j + 1] == '_')
+            {
+                // Raw identifier r#foo.
+                let mut k = j + 1;
+                while k < n && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                    k += 1;
+                }
+                let text: String = chars[j + 1..k].iter().collect();
+                push(&mut toks, TokKind::Ident, text, line);
+                i = k;
+                continue;
+            }
+            if ident == "b" && j < n && chars[j] == '\'' {
+                // Byte literal b'x'.
+                let (nj, nl) = skip_char_literal(&chars, j, line);
+                push(&mut toks, TokKind::Char, String::new(), line);
+                i = nj;
+                line = nl;
+                continue;
+            }
+            push(&mut toks, TokKind::Ident, ident, line);
+            i = j;
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            let tok_line = line;
+            let (text, nj, nl) = lex_string(&chars, i, line);
+            push(&mut toks, TokKind::Str, text, tok_line);
+            i = nj;
+            line = nl;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let next_alpha = chars
+                .get(i + 1)
+                .is_some_and(|&c| c.is_alphabetic() || c == '_');
+            let closes = chars.get(i + 2) == Some(&'\'');
+            if next_alpha && !closes {
+                let mut j = i + 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[i + 1..j].iter().collect();
+                push(&mut toks, TokKind::Lifetime, text, line);
+                i = j;
+                continue;
+            }
+            let (nj, nl) = skip_char_literal(&chars, i, line);
+            push(&mut toks, TokKind::Char, String::new(), line);
+            i = nj;
+            line = nl;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n
+                && (chars[j].is_alphanumeric()
+                    || chars[j] == '_'
+                    || (chars[j] == '.'
+                        && chars.get(j + 1).is_some_and(char::is_ascii_digit)
+                        && chars.get(j.wrapping_sub(1)) != Some(&'.')))
+            {
+                j += 1;
+            }
+            push(&mut toks, TokKind::Num, chars[i..j].iter().collect(), line);
+            i = j;
+            continue;
+        }
+        // Everything else: single punctuation character.
+        push(&mut toks, TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    toks
+}
+
+/// Lexes a `"…"` string starting at the opening quote; returns the
+/// unescaped contents, the index past the closing quote, and the new line.
+fn lex_string(chars: &[char], start: usize, mut line: u32) -> (String, usize, u32) {
+    let n = chars.len();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < n {
+        match chars[i] {
+            '"' => return (out, i + 1, line),
+            '\\' if i + 1 < n => {
+                match chars[i + 1] {
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    '0' => out.push('\0'),
+                    '\n' => line += 1, // line-continuation escape
+                    other => out.push(other),
+                }
+                i += 2;
+            }
+            '\n' => {
+                line += 1;
+                out.push('\n');
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, n, line)
+}
+
+/// Skips a `'…'` char/byte literal starting at the quote; returns the index
+/// past the closing quote and the new line.
+fn skip_char_literal(chars: &[char], start: usize, mut line: u32) -> (usize, u32) {
+    let n = chars.len();
+    let mut i = start + 1;
+    while i < n {
+        match chars[i] {
+            '\'' => return (i + 1, line),
+            '\\' => i += 2,
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (n, line)
+}
+
+/// Marks tokens inside `#[cfg(test)]` / `#[test]` items as test code.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_attr_start(toks, i) {
+            let attr_end = attr_group_end(toks, i);
+            if attr_is_test(&toks[i..attr_end]) {
+                // Skip any further attributes on the same item.
+                let mut j = attr_end;
+                while is_attr_start(toks, j) {
+                    j = attr_group_end(toks, j);
+                }
+                let item_end = item_end(toks, j);
+                for t in &mut toks[i..item_end] {
+                    t.in_test = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// True when `toks[i]` begins an outer attribute `#[…]`.
+fn is_attr_start(toks: &[Tok], i: usize) -> bool {
+    code_tok(toks, i).is_some_and(|t| t.text == "#")
+        && next_code(toks, i).is_some_and(|j| toks[j].text == "[")
+}
+
+fn code_tok(toks: &[Tok], i: usize) -> Option<&Tok> {
+    toks.get(i).filter(|t| t.is_code())
+}
+
+fn next_code(toks: &[Tok], i: usize) -> Option<usize> {
+    toks.iter()
+        .enumerate()
+        .skip(i + 1)
+        .find(|(_, t)| t.is_code())
+        .map(|(j, _)| j)
+}
+
+/// Index one past the closing `]` of the attribute starting at `i`.
+fn attr_group_end(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_code() {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Does this attribute gate the item to test builds?
+fn attr_is_test(attr: &[Tok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"test") => idents.len() == 1,
+        Some(&"cfg" | &"cfg_attr") => idents.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Index one past the end of the item starting at `i` (past its `;`, or
+/// past the `}` matching its first top-level `{`).
+fn item_end(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_code() {
+            match toks[j].text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                ";" if depth == 0 => return j + 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_lifetimes() {
+        let toks =
+            lex("// plain\n/// doc\nfn f<'a>(s: &'a str) { let c = 'x'; let s = \"a\\\"b\"; }");
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert_eq!(toks[0].text, "plain");
+        assert_eq!(toks[1].kind, TokKind::DocComment);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs[0].text, "a\"b");
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        let toks = lex(r####"let a = r#"raw "x" body"#; let b = b"bytes";"####);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs[0].text, r#"raw "x" body"#);
+        assert_eq!(strs[1].text, "bytes");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}";
+        let toks = lex(src);
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").unwrap();
+        assert!(unwrap.in_test);
+        let live2 = toks.iter().find(|t| t.text == "live2").unwrap();
+        assert!(!live2.in_test);
+    }
+
+    #[test]
+    fn test_attr_fn_is_marked() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn real() {}";
+        let toks = lex(src);
+        assert!(toks.iter().find(|t| t.text == "unwrap").unwrap().in_test);
+        assert!(!toks.iter().find(|t| t.text == "real").unwrap().in_test);
+    }
+
+    #[test]
+    fn line_numbers_survive_block_comments() {
+        let toks = lex("/* a\nb */ fn g() {}");
+        let f = toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! CLI entry point: `cargo run -p pqfs_lint [-- --root <dir>]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: pqfs_lint [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pqfs_lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match pqfs_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "pqfs_lint: no pqfs_lint.toml found walking up from {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match pqfs_lint::run(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("pqfs_lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            let summary: Vec<String> = pqfs_lint::summarize(&diags)
+                .into_iter()
+                .map(|(check, n)| format!("{check}: {n}"))
+                .collect();
+            eprintln!(
+                "pqfs_lint: {} error(s) ({})",
+                diags.len(),
+                summary.join(", ")
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("pqfs_lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

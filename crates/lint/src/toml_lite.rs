@@ -1,0 +1,343 @@
+//! A tiny TOML-subset parser for `Cargo.toml` and `pqfs_lint.toml`.
+//!
+//! Supports exactly what the workspace manifests use: `[table.headers]`,
+//! `key = "string"`, `key = true/false`, `key = ["array", "of", "strings"]`,
+//! dotted keys (`version.workspace = true`), and inline tables
+//! (`{ path = "…", default-features = false, features = ["x"] }`). Values
+//! the lint does not need (numbers, dates, multi-line strings, arrays of
+//! tables) are stored as [`Value::Other`] so the parser never fails on
+//! them.
+
+use std::collections::BTreeMap;
+
+/// A parsed TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array of strings (non-string elements are dropped).
+    Array(Vec<String>),
+    /// An inline table.
+    Table(BTreeMap<String, Value>),
+    /// Anything else, kept verbatim.
+    Other(String),
+}
+
+impl Value {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[String]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The inline table, if this is one.
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed document: `table path → key → value`. The root table has the
+/// empty path `""`; nested headers join with `.` (`"workspace.dependencies"`).
+#[derive(Debug, Default, Clone)]
+pub struct Doc {
+    tables: BTreeMap<String, BTreeMap<String, Value>>,
+}
+
+impl Doc {
+    /// The keys of table `path`, if present.
+    pub fn table(&self, path: &str) -> Option<&BTreeMap<String, Value>> {
+        self.tables.get(path)
+    }
+
+    /// One value: `doc.get("package", "name")`.
+    pub fn get(&self, path: &str, key: &str) -> Option<&Value> {
+        self.tables.get(path).and_then(|t| t.get(key))
+    }
+
+    /// All table paths with the given prefix segment (e.g. every
+    /// `features` subtable).
+    pub fn tables_under<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a BTreeMap<String, Value>)> {
+        let with_dot = format!("{prefix}.");
+        self.tables
+            .iter()
+            .filter_map(move |(k, v)| k.strip_prefix(&with_dot).map(|rest| (rest, v)))
+    }
+}
+
+/// Parses a TOML-subset document. Unrecognized constructs are skipped, not
+/// errors — the lint only reads the keys it understands.
+pub fn parse(src: &str) -> Doc {
+    let mut doc = Doc::default();
+    let mut current = String::new();
+    doc.tables.entry(current.clone()).or_default();
+
+    let mut lines = src.lines().peekable();
+    while let Some(raw) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("[[") {
+            // Array-of-tables ([[bin]], [[bench]]): collapse to the path.
+            let path = line.trim_matches(['[', ']']).trim().to_string();
+            current = path;
+            doc.tables.entry(current.clone()).or_default();
+            continue;
+        }
+        if line.starts_with('[') {
+            let path = line.trim_matches(['[', ']']).trim().to_string();
+            current = path;
+            doc.tables.entry(current.clone()).or_default();
+            continue;
+        }
+        let Some(eq) = find_top_level_eq(&line) else {
+            continue;
+        };
+        let key_part = line[..eq].trim().to_string();
+        let mut value_part = line[eq + 1..].trim().to_string();
+        // Multi-line arrays: keep consuming lines until brackets balance.
+        while unbalanced(&value_part) {
+            match lines.next() {
+                Some(next) => {
+                    value_part.push(' ');
+                    value_part.push_str(strip_comment(next).trim());
+                }
+                None => break,
+            }
+        }
+        let value = parse_value(&value_part);
+        // Dotted key: `a.b = v` inside `[t]` lands at table `t.a`, key `b`.
+        let (table_path, key) = match key_part.rsplit_once('.') {
+            Some((head, tail)) => {
+                let head = head.trim_matches('"').to_string();
+                let path = if current.is_empty() {
+                    head
+                } else {
+                    format!("{current}.{head}")
+                };
+                (path, tail.trim_matches('"').to_string())
+            }
+            None => (current.clone(), key_part.trim_matches('"').to_string()),
+        };
+        doc.tables.entry(table_path).or_default().insert(key, value);
+    }
+    doc
+}
+
+/// Removes a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Position of the key/value `=` (outside quotes and brackets).
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '=' if !in_str => return Some(i),
+            '[' | '{' if !in_str => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// True while an array/inline-table value still has unclosed brackets.
+fn unbalanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0
+}
+
+fn parse_value(s: &str) -> Value {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('"') {
+        if let Some(end) = inner.find('"') {
+            return Value::Str(inner[..end].to_string());
+        }
+    }
+    if s == "true" {
+        return Value::Bool(true);
+    }
+    if s == "false" {
+        return Value::Bool(false);
+    }
+    if s.starts_with('[') {
+        let inner = s.trim_start_matches('[').trim_end_matches(']');
+        let items = split_top_level(inner)
+            .into_iter()
+            .filter_map(|item| {
+                let item = item.trim();
+                item.strip_prefix('"')
+                    .and_then(|r| r.rfind('"').map(|e| r[..e].to_string()))
+            })
+            .collect();
+        return Value::Array(items);
+    }
+    if s.starts_with('{') {
+        let inner = s.trim_start_matches('{').trim_end_matches('}');
+        let mut table = BTreeMap::new();
+        for part in split_top_level(inner) {
+            if let Some(eq) = find_eq_anywhere(&part) {
+                let key = part[..eq].trim().trim_matches('"').to_string();
+                let val = parse_value(part[eq + 1..].trim());
+                table.insert(key, val);
+            }
+        }
+        return Value::Table(table);
+    }
+    Value::Other(s.to_string())
+}
+
+/// `=` position allowing array/table values after it.
+fn find_eq_anywhere(s: &str) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '=' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits on commas outside quotes and brackets.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '[' | '{' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | '}' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_cargo_manifest_shapes() {
+        let doc = parse(
+            r#"
+[package]
+name = "pqfs_demo" # trailing comment
+version.workspace = true
+
+[dependencies]
+pqfs_core.workspace = true
+pqfs_obs = { path = "../obs", default-features = false, features = ["telemetry"] }
+
+[features]
+default = ["avx2", "telemetry"]
+avx2 = [
+    "pqfs_scan/avx2",
+    "pqfs_columnar/avx2",
+]
+"#,
+        );
+        assert_eq!(
+            doc.get("package", "name").unwrap().as_str(),
+            Some("pqfs_demo")
+        );
+        assert_eq!(
+            doc.get("package.version", "workspace").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(
+            doc.get("dependencies.pqfs_core", "workspace")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        let obs = doc
+            .get("dependencies", "pqfs_obs")
+            .unwrap()
+            .as_table()
+            .unwrap();
+        assert_eq!(obs.get("default-features").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            obs.get("features").unwrap().as_array(),
+            Some(&["telemetry".to_string()][..])
+        );
+        assert_eq!(
+            doc.get("features", "avx2").unwrap().as_array().unwrap(),
+            &[
+                "pqfs_scan/avx2".to_string(),
+                "pqfs_columnar/avx2".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn ignores_unknown_values() {
+        let doc = parse("[a]\nx = 3\ny = \"keep\"");
+        assert!(matches!(doc.get("a", "x"), Some(Value::Other(_))));
+        assert_eq!(doc.get("a", "y").unwrap().as_str(), Some("keep"));
+    }
+}

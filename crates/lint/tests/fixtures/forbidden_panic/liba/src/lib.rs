@@ -1,0 +1,23 @@
+//! Fixture: panics in library code.
+#![forbid(unsafe_code)]
+
+pub fn boom() {
+    panic!("no");
+}
+
+pub fn risky() -> u8 {
+    Some(1u8).unwrap()
+}
+
+pub fn explained() -> u8 {
+    // pqfs-lint: allow(forbidden-panic)
+    Some(2u8).expect("fine")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_ok() {
+        Some(3u8).unwrap();
+    }
+}

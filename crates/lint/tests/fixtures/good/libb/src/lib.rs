@@ -1,0 +1,4 @@
+//! Fixture: forwards the tracked feature.
+#![forbid(unsafe_code)]
+
+pub fn nothing() {}

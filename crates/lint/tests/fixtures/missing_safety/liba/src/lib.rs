@@ -1,0 +1,11 @@
+//! Fixture: unsafe code without safety contracts.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub unsafe fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn caller() -> u8 {
+    let x = 0u8;
+    unsafe { undocumented(&x) }
+}

@@ -1,0 +1,3 @@
+//! Fixture: safe crate missing the forbid header.
+
+pub fn nothing() {}

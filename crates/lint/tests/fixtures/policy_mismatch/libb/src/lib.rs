@@ -1,0 +1,3 @@
+//! Fixture: unsafe-allowlisted crate missing the deny header.
+
+pub fn nothing() {}

@@ -1,0 +1,4 @@
+//! Fixture: unsafe-allowlisted crate that forbids unsafe code.
+#![forbid(unsafe_code)]
+
+pub fn nothing() {}

@@ -1,0 +1,8 @@
+//! Fixture: metric hygiene violations.
+#![forbid(unsafe_code)]
+
+pub fn metrics() {
+    let _a = LazyCounter::new("pqfs_documented_total");
+    let _b = LazyCounter::new("pqfs_missing_total");
+    let _c = LazyGauge::new("bad-name");
+}

@@ -1,0 +1,4 @@
+//! Fixture: exposes a tracked feature.
+#![forbid(unsafe_code)]
+
+pub fn nothing() {}

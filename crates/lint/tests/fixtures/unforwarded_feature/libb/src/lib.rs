@@ -1,0 +1,4 @@
+//! Fixture: swallows the tracked feature.
+#![forbid(unsafe_code)]
+
+pub fn nothing() {}

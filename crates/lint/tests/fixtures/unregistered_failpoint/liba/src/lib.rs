@@ -1,0 +1,7 @@
+//! Fixture: failpoint site missing from the registry.
+#![forbid(unsafe_code)]
+
+pub fn io_path() {
+    let _registered = check("good.site");
+    let _rogue = check("bad.site");
+}

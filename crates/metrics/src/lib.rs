@@ -11,6 +11,8 @@
 //! * [`table`] — aligned text tables for harness output;
 //! * [`timer`] — wall-clock helpers and the M vecs/s unit.
 
+#![forbid(unsafe_code)]
+
 pub mod cost_model;
 pub mod counters;
 pub mod recall;

@@ -20,7 +20,7 @@ impl Summary {
         assert!(!values.is_empty(), "cannot summarize an empty sample");
         assert!(values.iter().all(|v| !v.is_nan()), "sample contains NaN");
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        sorted.sort_by(f64::total_cmp); // NaNs rejected above
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         Summary { sorted, mean }
     }
@@ -48,7 +48,10 @@ impl Summary {
 
     /// Largest value.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        *self
+            .sorted
+            .last()
+            .unwrap_or_else(|| unreachable!("empty samples are rejected at construction"))
     }
 
     /// Linear-interpolation percentile, `p ∈ [0, 100]`.

@@ -111,7 +111,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -162,14 +162,15 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap_or_else(|_| unreachable!("number spans only ASCII bytes"));
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| format!("bad number {:?} at byte {start}", text))
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -211,7 +212,10 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .unwrap_or_else(|| unreachable!("peek saw a byte, so rest is non-empty"));
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -220,7 +224,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -249,7 +253,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -260,7 +264,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             map.insert(key, val);

@@ -35,6 +35,7 @@
 //! # serve();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod expose;

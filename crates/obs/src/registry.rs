@@ -23,7 +23,7 @@ mod enabled_impl {
     use crate::histogram::{Histogram, HistogramSnapshot};
     use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Mutex, OnceLock, PoisonError};
 
     /// Counter shard count. Threads are assigned shards round-robin, so up
     /// to this many threads increment without sharing a cache line.
@@ -198,7 +198,7 @@ mod enabled_impl {
             label: Option<(&'static str, &str)>,
         ) -> &'static Counter {
             let key = key_of(name, label);
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(c) = inner.counters.get(&key) {
                 return c;
             }
@@ -214,7 +214,7 @@ mod enabled_impl {
         /// The gauge named `name` (registered on first use).
         pub fn gauge(&self, name: &'static str, help: &'static str) -> &'static Gauge {
             let key = key_of(name, None);
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(g) = inner.gauges.get(&key) {
                 return g;
             }
@@ -231,7 +231,7 @@ mod enabled_impl {
         /// The histogram named `name` (registered on first use).
         pub fn histogram(&self, name: &'static str, help: &'static str) -> &'static Histogram {
             let key = key_of(name, None);
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(h) = inner.histograms.get(&key) {
                 return h;
             }
@@ -247,7 +247,7 @@ mod enabled_impl {
             let key = key_of(name, label);
             self.inner
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .counters
                 .get(&key)
                 .map(|c| c.value())
@@ -257,7 +257,7 @@ mod enabled_impl {
         /// Snapshot of every registered metric, in deterministic
         /// `(name, label)` order.
         pub(crate) fn collect(&self) -> Collected {
-            let inner = self.inner.lock().unwrap();
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             Collected {
                 counters: inner
                     .counters

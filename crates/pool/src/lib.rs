@@ -48,6 +48,8 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod pool;
 
 pub use pool::ThreadPool;

@@ -4,7 +4,7 @@ use pqfs_obs::{LazyCounter, LazyGauge};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -73,12 +73,15 @@ impl Shared {
     /// sleeping worker.
     fn push(&self, job: Job) {
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len();
-        self.deques[i].lock().unwrap().push_back(job);
+        self.deques[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(job);
         let depth = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
         QUEUE_HWM.record_max(depth as u64);
         // Taking the lot lock orders this wake-up against a worker that just
         // observed `pending == 0` and is about to sleep.
-        let _lot = self.lot.lock().unwrap();
+        let _lot = self.lot.lock().unwrap_or_else(PoisonError::into_inner);
         self.wake.notify_all();
     }
 
@@ -88,13 +91,21 @@ impl Shared {
         if self.pending.load(Ordering::SeqCst) == 0 {
             return None;
         }
-        if let Some(job) = self.deques[me].lock().unwrap().pop_back() {
+        if let Some(job) = self.deques[me]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+        {
             self.pending.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
         }
         for k in 1..self.deques.len() {
             let i = (me + k) % self.deques.len();
-            if let Some(job) = self.deques[i].lock().unwrap().pop_front() {
+            if let Some(job) = self.deques[i]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 STEALS.inc();
                 return Some(job);
@@ -111,7 +122,11 @@ impl Shared {
         let start = self.next.load(Ordering::Relaxed);
         for k in 0..self.deques.len() {
             let i = (start + k) % self.deques.len();
-            if let Some(job) = self.deques[i].lock().unwrap().pop_front() {
+            if let Some(job) = self.deques[i]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 STEALS.inc();
                 return Some(job);
@@ -127,14 +142,19 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
             run_job(job);
             continue;
         }
-        let lot = shared.lot.lock().unwrap();
+        let lot = shared.lot.lock().unwrap_or_else(PoisonError::into_inner);
         if *lot {
             return; // shutdown
         }
         if shared.pending.load(Ordering::SeqCst) == 0 {
             // Rechecked under the lot lock: `push` takes the same lock
             // before notifying, so this wait cannot miss a wake-up.
-            drop(shared.wake.wait(lot).unwrap());
+            drop(
+                shared
+                    .wake
+                    .wait(lot)
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
         }
     }
 }
@@ -201,6 +221,9 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("pqfs-worker-{me}"))
                     .spawn(move || worker_loop(shared, me))
+                    // Failing to spawn a worker leaves the pool unable to
+                    // uphold its parallelism contract; documented panic.
+                    // pqfs-lint: allow(forbidden-panic)
                     .expect("spawn pool worker")
             })
             .collect();
@@ -247,14 +270,14 @@ impl ThreadPool {
                 if !state.poisoned.load(Ordering::Relaxed) {
                     if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(thunk)) {
                         state.poisoned.store(true, Ordering::Relaxed);
-                        let mut slot = state.panic.lock().unwrap();
+                        let mut slot = state.panic.lock().unwrap_or_else(PoisonError::into_inner);
                         if slot.is_none() {
                             *slot = Some(annotate_panic(payload));
                         }
                     }
                 }
                 if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    let mut done = state.done.lock().unwrap();
+                    let mut done = state.done.lock().unwrap_or_else(PoisonError::into_inner);
                     *done = true;
                     state.done_cv.notify_all();
                 }
@@ -279,16 +302,20 @@ impl ThreadPool {
                 // Nothing queued anywhere: our stragglers are running on
                 // workers. Park until the last one flips `done`. The timeout
                 // is defensive only — the flag is set under the same lock.
-                let done = state.done.lock().unwrap();
+                let done = state.done.lock().unwrap_or_else(PoisonError::into_inner);
                 if !*done {
                     let _ = state
                         .done_cv
                         .wait_timeout(done, Duration::from_millis(1))
-                        .unwrap();
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
-        let payload = state.panic.lock().unwrap().take();
+        let payload = state
+            .panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
         if let Some(payload) = payload {
             panic::resume_unwind(payload);
         }
@@ -355,7 +382,8 @@ impl ThreadPool {
                                 Ok(value) => out.push(value),
                                 Err(e) => {
                                     err_index_ref.fetch_min(start + i, Ordering::Relaxed);
-                                    let mut slot = err_ref.lock().unwrap();
+                                    let mut slot =
+                                        err_ref.lock().unwrap_or_else(PoisonError::into_inner);
                                     match slot.as_ref() {
                                         Some((j, _)) if start + i >= *j => {}
                                         _ => *slot = Some((start + i, e)),
@@ -364,20 +392,23 @@ impl ThreadPool {
                                 }
                             }
                         }
-                        *slot.lock().unwrap() = Some(out);
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                     }
                 })
                 .collect(),
         );
-        if let Some((_, e)) = first_err.into_inner().unwrap() {
+        if let Some((_, e)) = first_err
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
             return Err(e);
         }
         let mut result = Vec::with_capacity(n);
         for slot in slots {
             result.extend(
                 slot.into_inner()
-                    .unwrap()
-                    .expect("completed scope filled every slot"),
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| unreachable!("completed scope filled every slot")),
             );
         }
         Ok(result)
@@ -409,7 +440,7 @@ impl ThreadPool {
                         for (k, item) in piece.iter_mut().enumerate() {
                             out.push(f(start + k, item));
                         }
-                        *slot.lock().unwrap() = Some(out);
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                     }
                 })
                 .collect(),
@@ -418,8 +449,8 @@ impl ThreadPool {
         for slot in slots {
             result.extend(
                 slot.into_inner()
-                    .unwrap()
-                    .expect("completed scope filled every slot"),
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| unreachable!("completed scope filled every slot")),
             );
         }
         result
@@ -488,7 +519,11 @@ fn split_pieces<T>(mut data: &mut [T], len: usize) -> Vec<(usize, &mut [T])> {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut lot = self.shared.lot.lock().unwrap();
+            let mut lot = self
+                .shared
+                .lot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             *lot = true;
             self.shared.wake.notify_all();
         }
@@ -645,7 +680,8 @@ mod tests {
             let mut copy = data.clone();
             let partials = Mutex::new(vec![0f64; copy.len().div_ceil(256)]);
             pool.for_each_chunk(&mut copy, 256, |start, chunk| {
-                partials.lock().unwrap()[start / 256] = chunk.iter().sum();
+                partials.lock().unwrap_or_else(PoisonError::into_inner)[start / 256] =
+                    chunk.iter().sum();
             });
             let partials = partials.into_inner().unwrap();
             partials.iter().sum()

@@ -63,6 +63,12 @@ fn block_distances(
         if std::arch::is_x86_feature_detected!("avx") {
             // SAFETY: AVX support was just verified at runtime.
             unsafe { block_distances_avx(tables, codes, b, dists) };
+            #[cfg(feature = "checked-kernels")]
+            if crate::checked::should_check() {
+                let mut shadow = [0f32; TRANSPOSED_BLOCK];
+                block_distances_portable(tables, codes, b, &mut shadow);
+                crate::checked::assert_lanes_match("avx.block_distances", dists, &shadow);
+            }
             return;
         }
     }
@@ -87,6 +93,10 @@ fn block_distances_portable(
     }
 }
 
+/// # Safety
+///
+/// The caller must verify AVX support at runtime
+/// (`is_x86_feature_detected!("avx")`) before calling.
 #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
 #[target_feature(enable = "avx")]
 unsafe fn block_distances_avx(
@@ -96,6 +106,7 @@ unsafe fn block_distances_avx(
     dists: &mut [f32; TRANSPOSED_BLOCK],
 ) {
     use std::arch::x86_64::*;
+    debug_assert!(b < codes.num_blocks(), "block index out of range");
     let mut acc = _mm256_setzero_ps();
     for j in 0..codes.m() {
         let word = codes.component_word(b, j);
@@ -114,7 +125,9 @@ unsafe fn block_distances_avx(
         );
         acc = _mm256_add_ps(acc, vals);
     }
-    _mm256_storeu_ps(dists.as_mut_ptr(), acc);
+    // SAFETY: `dists` is a valid, writable `[f32; 8]` — exactly the 32
+    // bytes an unaligned 256-bit store touches.
+    unsafe { _mm256_storeu_ps(dists.as_mut_ptr(), acc) };
 }
 
 #[cfg(test)]

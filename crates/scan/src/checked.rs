@@ -1,0 +1,119 @@
+//! Differential shadow-execution of SIMD kernels (feature `checked-kernels`).
+//!
+//! Every SIMD fast-scan, vertical-add and gather kernel in this crate has a
+//! portable scalar fallback that is **bit-identical by construction** (same
+//! accumulation order, same arithmetic). With `checked-kernels` enabled, a
+//! sampled subset of kernel invocations re-runs the portable fallback on the
+//! same inputs and asserts the outputs match bit for bit — a cheap, always-on
+//! guard against miscompiled intrinsics, broken runtime dispatch, or a kernel
+//! change that silently diverges from its oracle.
+//!
+//! Sampling is controlled by `PQFS_CHECK_RATE`: check every Nth invocation
+//! (default 64). `PQFS_CHECK_RATE=1` checks every call; `PQFS_CHECK_RATE=0`
+//! disables checking without recompiling. The counter is a single relaxed
+//! atomic, so the cost of an unsampled call is one fetch-add.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Default sampling period: one shadow execution per 64 kernel invocations.
+pub const DEFAULT_CHECK_RATE: u64 = 64;
+
+static CALLS: AtomicU64 = AtomicU64::new(0);
+static RATE: OnceLock<u64> = OnceLock::new();
+
+fn rate() -> u64 {
+    *RATE.get_or_init(|| match std::env::var("PQFS_CHECK_RATE") {
+        Ok(v) => v.trim().parse().unwrap_or(DEFAULT_CHECK_RATE),
+        Err(_) => DEFAULT_CHECK_RATE,
+    })
+}
+
+/// Forces the sampling rate, overriding `PQFS_CHECK_RATE` if neither has
+/// been read yet (first writer wins). Lets tests guarantee every kernel
+/// invocation is shadow-checked without racing on the process environment.
+pub fn force_rate(r: u64) {
+    let _ = RATE.set(r);
+}
+
+/// True when this kernel invocation is sampled for shadow execution.
+#[inline]
+pub fn should_check() -> bool {
+    let r = rate();
+    if r == 0 {
+        return false;
+    }
+    CALLS.fetch_add(1, Ordering::Relaxed) % r == 0
+}
+
+/// Asserts two per-lane distance buffers are bit-identical, with a
+/// diagnostic naming the kernel and the first diverging lane.
+#[track_caller]
+pub fn assert_lanes_match(kernel: &str, simd: &[f32], portable: &[f32]) {
+    assert_eq!(
+        simd.len(),
+        portable.len(),
+        "checked-kernels[{kernel}]: lane count mismatch"
+    );
+    for (lane, (s, p)) in simd.iter().zip(portable).enumerate() {
+        assert!(
+            s.to_bits() == p.to_bits(),
+            "checked-kernels[{kernel}]: lane {lane} diverged: simd={s} ({:#010x}) \
+             portable={p} ({:#010x})",
+            s.to_bits(),
+            p.to_bits(),
+        );
+    }
+}
+
+/// Asserts two candidate visit sequences (`(group, index_in_group)` pairs,
+/// in visit order) are identical, with a diagnostic naming the kernel and
+/// the first divergence.
+#[track_caller]
+pub fn assert_visits_match(kernel: &str, simd: &[(usize, usize)], portable: &[(usize, usize)]) {
+    let n = simd.len().min(portable.len());
+    for i in 0..n {
+        let (sg, si) = simd[i];
+        let (pg, pi) = portable[i];
+        assert!(
+            sg == pg && si == pi,
+            "checked-kernels[{kernel}]: visit {i} diverged: simd=(g{sg}, {si}) \
+             portable=(g{pg}, {pi})"
+        );
+    }
+    assert_eq!(
+        simd.len(),
+        portable.len(),
+        "checked-kernels[{kernel}]: visit count diverged (simd={}, portable={})",
+        simd.len(),
+        portable.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_lanes_pass() {
+        assert_lanes_match("test", &[1.0, -0.0], &[1.0, -0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane 1 diverged")]
+    fn sign_of_zero_is_compared_bitwise() {
+        assert_lanes_match("test", &[1.0, 0.0], &[1.0, -0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "visit count diverged")]
+    fn missing_visit_is_detected() {
+        assert_visits_match("test", &[(1, 2)], &[(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "visit 0 diverged")]
+    fn reordered_visit_is_detected() {
+        assert_visits_match("test", &[(1, 2), (2, 3)], &[(2, 3), (1, 2)]);
+    }
+}

@@ -225,10 +225,16 @@ pub(crate) mod x86 {
         let mut acc = _mm_setzero_si128();
         let mut array = 0usize;
 
+        // `array` counts component arrays already consumed; it stays
+        // strictly below `C/2 + C%2 + (FS_M - C)`, so every unaligned
+        // 16-byte load below reads inside the `bytes_per_block(C)` bytes
+        // the caller guarantees.
+
         // Packed pairs of grouped components (low nibble = even component,
         // high nibble = odd component).
         for p in 0..C / 2 {
-            let bytes = _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i);
+            // SAFETY: in-bounds unaligned load, see `array` invariant above.
+            let bytes = unsafe { _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i) };
             array += 1;
             let lo = _mm_and_si128(bytes, low);
             acc = _mm_adds_epu8(acc, _mm_shuffle_epi8(regs[2 * p], lo));
@@ -237,7 +243,8 @@ pub(crate) mod x86 {
         }
         // Unpaired grouped component (odd C).
         if C % 2 == 1 {
-            let bytes = _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i);
+            // SAFETY: in-bounds unaligned load, see `array` invariant above.
+            let bytes = unsafe { _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i) };
             array += 1;
             let lo = _mm_and_si128(bytes, low);
             acc = _mm_adds_epu8(acc, _mm_shuffle_epi8(regs[C - 1], lo));
@@ -245,7 +252,8 @@ pub(crate) mod x86 {
         // Ungrouped components: full bytes, high nibble indexes the minimum
         // table.
         for j in C..FS_M {
-            let bytes = _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i);
+            // SAFETY: in-bounds unaligned load, see `array` invariant above.
+            let bytes = unsafe { _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i) };
             array += 1;
             let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), low);
             acc = _mm_adds_epu8(acc, _mm_shuffle_epi8(regs[j], hi));
@@ -256,6 +264,10 @@ pub(crate) mod x86 {
         _mm_movemask_epi8(cand) as u16
     }
 
+    /// # Safety
+    ///
+    /// CPU must support SSSE3, and `C` must equal `grouped.layout().c()`
+    /// (the layout the codes were packed for).
     #[target_feature(enable = "ssse3")]
     unsafe fn scan_all_ssse3_impl<const C: usize, F: Visit>(
         grouped: &GroupedCodes,
@@ -263,10 +275,13 @@ pub(crate) mod x86 {
         mut threshold: u8,
         visit: &mut F,
     ) -> u64 {
+        debug_assert_eq!(C, grouped.layout().c(), "kernel/layout c mismatch");
         // Minimum tables: loaded once, resident for the entire scan.
         let mut regs = [_mm_setzero_si128(); FS_M];
         for j in C..FS_M {
-            regs[j] = _mm_loadu_si128(tables.small[j].as_ptr() as *const __m128i);
+            // SAFETY: `tables.small[j]` is a `[u8; 16]` — exactly one
+            // unaligned 128-bit load.
+            regs[j] = unsafe { _mm_loadu_si128(tables.small[j].as_ptr() as *const __m128i) };
         }
         let mut tvec = _mm_set1_epi8(threshold as i8);
         let bpb = bytes_per_block(C);
@@ -276,16 +291,26 @@ pub(crate) mod x86 {
             // Portion registers for this group (Figure 13, solid arrows).
             for j in 0..C {
                 let portion = g.key[j] as usize * PORTION;
-                regs[j] =
-                    _mm_loadu_si128(tables.grouped[j].as_ptr().add(portion) as *const __m128i);
+                debug_assert!(portion + PORTION <= tables.grouped[j].len());
+                // SAFETY: group keys are 4-bit portion indexes, so
+                // `portion + 16 <= 256 == tables.grouped[j].len()`; the load
+                // reads 16 in-bounds bytes.
+                regs[j] = unsafe {
+                    _mm_loadu_si128(tables.grouped[j].as_ptr().add(portion) as *const __m128i)
+                };
             }
             let blocks = grouped.group_blocks(g);
             let base = blocks.as_ptr();
             let full_blocks = g.len / FS_BLOCK;
+            debug_assert!(blocks.len() >= g.num_blocks() * bpb);
 
             // Hot loop over full blocks.
             for b in 0..full_blocks {
-                let mut mask = block_mask_ssse3::<C>(base.add(b * bpb), &regs, tvec);
+                // SAFETY: SSSE3 is a caller precondition; `group_blocks`
+                // yields `num_blocks() * bpb` bytes and `b < full_blocks <=
+                // num_blocks()`, so the block pointer covers `bpb` readable
+                // bytes.
+                let mut mask = unsafe { block_mask_ssse3::<C>(base.add(b * bpb), &regs, tvec) };
                 if mask != 0 {
                     candidates += mask.count_ones() as u64;
                     loop {
@@ -307,7 +332,10 @@ pub(crate) mod x86 {
             if tail != 0 {
                 let b = full_blocks;
                 let valid_mask = (1u16 << tail) - 1;
-                let mut mask = block_mask_ssse3::<C>(base.add(b * bpb), &regs, tvec) & valid_mask;
+                // SAFETY: as above; a ragged tail means `num_blocks() ==
+                // full_blocks + 1`, so block `b == full_blocks` is in range.
+                let mut mask =
+                    unsafe { block_mask_ssse3::<C>(base.add(b * bpb), &regs, tvec) } & valid_mask;
                 candidates += mask.count_ones() as u64;
                 while mask != 0 {
                     let lane = mask.trailing_zeros() as usize;
@@ -335,13 +363,17 @@ pub(crate) mod x86 {
         threshold: u8,
         visit: &mut F,
     ) -> u64 {
-        match grouped.layout().c() {
-            0 => scan_all_ssse3_impl::<0, F>(grouped, tables, threshold, visit),
-            1 => scan_all_ssse3_impl::<1, F>(grouped, tables, threshold, visit),
-            2 => scan_all_ssse3_impl::<2, F>(grouped, tables, threshold, visit),
-            3 => scan_all_ssse3_impl::<3, F>(grouped, tables, threshold, visit),
-            4 => scan_all_ssse3_impl::<4, F>(grouped, tables, threshold, visit),
-            c => unreachable!("grouping is defined for c <= 4, got {c}"),
+        // SAFETY: SSSE3 is a caller precondition, and each arm instantiates
+        // the kernel with `C` equal to the layout's grouping count.
+        unsafe {
+            match grouped.layout().c() {
+                0 => scan_all_ssse3_impl::<0, F>(grouped, tables, threshold, visit),
+                1 => scan_all_ssse3_impl::<1, F>(grouped, tables, threshold, visit),
+                2 => scan_all_ssse3_impl::<2, F>(grouped, tables, threshold, visit),
+                3 => scan_all_ssse3_impl::<3, F>(grouped, tables, threshold, visit),
+                4 => scan_all_ssse3_impl::<4, F>(grouped, tables, threshold, visit),
+                c => unreachable!("grouping is defined for c <= 4, got {c}"),
+            }
         }
     }
 
@@ -368,9 +400,15 @@ pub(crate) mod x86 {
         let mut array = 0usize;
 
         // One 256-bit vector = array `k` of block b (low) and b+1 (high).
+        // The caller guarantees `block` points at `2 * bytes_per_block(C)`
+        // readable bytes and `array` stays below `bpb / FS_BLOCK`, so both
+        // unaligned 16-byte loads are in bounds.
         let load_pair = |array: usize| -> __m256i {
-            let lo = _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i);
-            let hi = _mm_loadu_si128(block.add(bpb + array * FS_BLOCK) as *const __m128i);
+            // SAFETY: offset `array * FS_BLOCK` is inside the first block.
+            let lo = unsafe { _mm_loadu_si128(block.add(array * FS_BLOCK) as *const __m128i) };
+            // SAFETY: offset `bpb + array * FS_BLOCK` is inside the second.
+            let hi =
+                unsafe { _mm_loadu_si128(block.add(bpb + array * FS_BLOCK) as *const __m128i) };
             _mm256_set_m128i(hi, lo)
         };
 
@@ -399,6 +437,10 @@ pub(crate) mod x86 {
         _mm256_movemask_epi8(cand) as u32
     }
 
+    /// # Safety
+    ///
+    /// CPU must support AVX2, and `C` must equal `grouped.layout().c()`
+    /// (the layout the codes were packed for).
     #[target_feature(enable = "avx2")]
     unsafe fn scan_all_avx2_impl<const C: usize, F: Visit>(
         grouped: &GroupedCodes,
@@ -406,10 +448,13 @@ pub(crate) mod x86 {
         mut threshold: u8,
         visit: &mut F,
     ) -> u64 {
+        debug_assert_eq!(C, grouped.layout().c(), "kernel/layout c mismatch");
         // 128-bit registers for the single-block tail path...
         let mut regs128 = [_mm_setzero_si128(); FS_M];
         for j in C..FS_M {
-            regs128[j] = _mm_loadu_si128(tables.small[j].as_ptr() as *const __m128i);
+            // SAFETY: `tables.small[j]` is a `[u8; 16]` — exactly one
+            // unaligned 128-bit load.
+            regs128[j] = unsafe { _mm_loadu_si128(tables.small[j].as_ptr() as *const __m128i) };
         }
         // ...and their 256-bit broadcasts for the pair path.
         let mut regs256 = [_mm256_setzero_si256(); FS_M];
@@ -424,19 +469,29 @@ pub(crate) mod x86 {
         for (gi, g) in grouped.groups().iter().enumerate() {
             for j in 0..C {
                 let portion = g.key[j] as usize * PORTION;
-                regs128[j] =
-                    _mm_loadu_si128(tables.grouped[j].as_ptr().add(portion) as *const __m128i);
+                debug_assert!(portion + PORTION <= tables.grouped[j].len());
+                // SAFETY: group keys are 4-bit portion indexes, so
+                // `portion + 16 <= 256 == tables.grouped[j].len()`.
+                regs128[j] = unsafe {
+                    _mm_loadu_si128(tables.grouped[j].as_ptr().add(portion) as *const __m128i)
+                };
                 regs256[j] = _mm256_broadcastsi128_si256(regs128[j]);
             }
             let blocks = grouped.group_blocks(g);
             let base = blocks.as_ptr();
             let full_blocks = g.len / FS_BLOCK;
             let pairs = full_blocks / 2;
+            debug_assert!(blocks.len() >= g.num_blocks() * bpb);
 
             // Two full blocks per iteration.
             for pair in 0..pairs {
                 let b = pair * 2;
-                let mut mask = block_pair_mask_avx2::<C>(base.add(b * bpb), &regs256, tvec256);
+                // SAFETY: AVX2 is a caller precondition; blocks `b` and
+                // `b + 1` are both full (`b + 1 < full_blocks`), so the
+                // pointer covers `2 * bpb` readable bytes inside the
+                // `num_blocks() * bpb` the group slice provides.
+                let mut mask =
+                    unsafe { block_pair_mask_avx2::<C>(base.add(b * bpb), &regs256, tvec256) };
                 if mask != 0 {
                     candidates += mask.count_ones() as u64;
                     loop {
@@ -467,8 +522,11 @@ pub(crate) mod x86 {
                 n_singles += 1;
             }
             for &(b, valid_mask) in &singles[..n_singles] {
+                // SAFETY: AVX2 implies SSSE3; `b < num_blocks()`, so the
+                // block pointer covers `bpb` readable bytes.
                 let mut mask =
-                    block_mask_ssse3::<C>(base.add(b * bpb), &regs128, tvec128) & valid_mask;
+                    unsafe { block_mask_ssse3::<C>(base.add(b * bpb), &regs128, tvec128) }
+                        & valid_mask;
                 candidates += mask.count_ones() as u64;
                 while mask != 0 {
                     let lane = mask.trailing_zeros() as usize;
@@ -499,13 +557,17 @@ pub(crate) mod x86 {
         threshold: u8,
         visit: &mut F,
     ) -> u64 {
-        match grouped.layout().c() {
-            0 => scan_all_avx2_impl::<0, F>(grouped, tables, threshold, visit),
-            1 => scan_all_avx2_impl::<1, F>(grouped, tables, threshold, visit),
-            2 => scan_all_avx2_impl::<2, F>(grouped, tables, threshold, visit),
-            3 => scan_all_avx2_impl::<3, F>(grouped, tables, threshold, visit),
-            4 => scan_all_avx2_impl::<4, F>(grouped, tables, threshold, visit),
-            c => unreachable!("grouping is defined for c <= 4, got {c}"),
+        // SAFETY: AVX2 is a caller precondition, and each arm instantiates
+        // the kernel with `C` equal to the layout's grouping count.
+        unsafe {
+            match grouped.layout().c() {
+                0 => scan_all_avx2_impl::<0, F>(grouped, tables, threshold, visit),
+                1 => scan_all_avx2_impl::<1, F>(grouped, tables, threshold, visit),
+                2 => scan_all_avx2_impl::<2, F>(grouped, tables, threshold, visit),
+                3 => scan_all_avx2_impl::<3, F>(grouped, tables, threshold, visit),
+                4 => scan_all_avx2_impl::<4, F>(grouped, tables, threshold, visit),
+                c => unreachable!("grouping is defined for c <= 4, got {c}"),
+            }
         }
     }
 }
@@ -567,6 +629,7 @@ mod tests {
             #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
             {
                 assert!(std::arch::is_x86_feature_detected!("ssse3"));
+                // SAFETY: SSSE3 support asserted above.
                 unsafe {
                     x86::scan_all_ssse3(grouped, &tables, t, &mut |g, idx| {
                         visited.push((g, idx));
@@ -679,6 +742,7 @@ mod tests {
                 t
             };
             if ssse3 {
+                // SAFETY: SSSE3 support checked at the top of the test.
                 unsafe {
                     x86::scan_all_ssse3(&grouped, &tables, 255, &mut visit);
                 }

@@ -195,6 +195,19 @@ pub(crate) fn scan_with(
     }
     stats.verified = verified;
 
+    // Differential shadow execution (feature `checked-kernels`): on a
+    // sampled subset of scans, re-run the partition with both the SIMD
+    // kernel and the portable oracle under a frozen threshold and assert
+    // the candidate sequences are identical. The threshold is frozen
+    // because the AVX2 pair kernel shares one threshold snapshot across a
+    // block pair, so only static-threshold runs are defined to be
+    // bit-identical (see `kernels_agree_under_dynamic_thresholds` for the
+    // dynamic-threshold equivalence of the SSSE3 kernel).
+    #[cfg(all(target_arch = "x86_64", feature = "avx2", feature = "checked-kernels"))]
+    if kernel != ResolvedKernel::Portable && crate::checked::should_check() {
+        shadow_check(kernel, grouped, scan_tables, threshold);
+    }
+
     // A vector is "pruned" when its exact pqdistance was never computed in
     // the fast path; warm-up members are accounted separately, so the
     // invariant `warmup + pruned + verified == scanned` always holds.
@@ -204,4 +217,52 @@ pub(crate) fn scan_with(
         neighbors: heap.into_sorted(),
         stats,
     })
+}
+
+/// Re-runs one partition with the resolved SIMD kernel and the portable
+/// oracle under a frozen threshold, asserting identical candidate
+/// sequences. Panics (via [`crate::checked::assert_visits_match`]) on the
+/// first divergence.
+#[cfg(all(target_arch = "x86_64", feature = "avx2", feature = "checked-kernels"))]
+fn shadow_check(
+    kernel: ResolvedKernel,
+    grouped: &crate::fastscan::grouping::GroupedCodes,
+    scan_tables: &ScanTables,
+    threshold: u8,
+) {
+    use crate::fastscan::kernel::x86;
+    let name = match kernel {
+        ResolvedKernel::Ssse3 => "fastscan.ssse3",
+        ResolvedKernel::Avx2 => "fastscan.avx2",
+        ResolvedKernel::Portable => return,
+    };
+    let mut simd = Vec::new();
+    // SAFETY: `kernel` came out of `Kernel::resolve`, which verified the
+    // matching CPU feature at runtime.
+    unsafe {
+        match kernel {
+            ResolvedKernel::Ssse3 => {
+                x86::scan_all_ssse3(grouped, scan_tables, threshold, &mut |g, i| {
+                    simd.push((g, i));
+                    threshold
+                })
+            }
+            ResolvedKernel::Avx2 => {
+                x86::scan_all_avx2(grouped, scan_tables, threshold, &mut |g, i| {
+                    simd.push((g, i));
+                    threshold
+                })
+            }
+            ResolvedKernel::Portable => 0,
+        }
+    };
+    // The portable oracle refreshes the per-group scratch registers inside
+    // `small[..c]`, so it runs on a clone.
+    let mut oracle_tables = scan_tables.clone();
+    let mut oracle = Vec::new();
+    scan_all_portable(grouped, &mut oracle_tables, threshold, &mut |g, i| {
+        oracle.push((g, i));
+        threshold
+    });
+    crate::checked::assert_visits_match(name, &simd, &oracle);
 }

@@ -61,6 +61,12 @@ fn block_distances(
         if std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just verified at runtime.
             unsafe { block_distances_gather(tables, codes, b, dists) };
+            #[cfg(feature = "checked-kernels")]
+            if crate::checked::should_check() {
+                let mut shadow = [0f32; TRANSPOSED_BLOCK];
+                block_distances_portable(tables, codes, b, &mut shadow);
+                crate::checked::assert_lanes_match("gather.block_distances", dists, &shadow);
+            }
             return;
         }
     }
@@ -85,6 +91,13 @@ fn block_distances_portable(
     }
 }
 
+/// # Safety
+///
+/// The caller must verify AVX2 support at runtime
+/// (`is_x86_feature_detected!("avx2")`) before calling. Every byte of every
+/// component word must be a valid index into the corresponding distance
+/// table (guaranteed by construction: `TransposedCodes` stores 8-bit codes
+/// and `DistanceTables` has `ksub() == 256` entries per component).
 #[cfg(all(target_arch = "x86_64", feature = "avx2"))]
 #[target_feature(enable = "avx2")]
 unsafe fn block_distances_gather(
@@ -94,18 +107,29 @@ unsafe fn block_distances_gather(
     dists: &mut [f32; TRANSPOSED_BLOCK],
 ) {
     use std::arch::x86_64::*;
+    debug_assert!(b < codes.num_blocks(), "block index out of range");
     let mut acc = _mm256_setzero_ps();
     for j in 0..codes.m() {
         let word = codes.component_word(b, j);
-        // mem1: one 64-bit load of the 8 component bytes.
-        let bytes = _mm_loadl_epi64(word.as_ptr() as *const __m128i);
+        debug_assert!(
+            word.iter().all(|&c| (c as usize) < tables.ksub()),
+            "code byte out of table range"
+        );
+        // SAFETY: `word` is a `&[u8; 8]`, so reading its low 64 bits as an
+        // unaligned `__m128i` low half stays in bounds.
+        let bytes = unsafe { _mm_loadl_epi64(word.as_ptr() as *const __m128i) };
         let indexes = _mm256_cvtepu8_epi32(bytes);
         // mem2: vpgatherdps — 8 table accesses in one instruction.
         let table = tables.table(j);
-        let vals = _mm256_i32gather_ps::<4>(table.as_ptr(), indexes);
+        // SAFETY: each gathered lane reads `table[word[lane]]`; the codes
+        // are u8 and each table holds `k() == 256` f32s, so every scaled
+        // offset is in bounds.
+        let vals = unsafe { _mm256_i32gather_ps::<4>(table.as_ptr(), indexes) };
         acc = _mm256_add_ps(acc, vals);
     }
-    _mm256_storeu_ps(dists.as_mut_ptr(), acc);
+    // SAFETY: `dists` is a valid, writable `[f32; 8]` — exactly the 32
+    // bytes an unaligned 256-bit store touches.
+    unsafe { _mm256_storeu_ps(dists.as_mut_ptr(), acc) };
 }
 
 #[cfg(test)]

@@ -49,7 +49,11 @@
 //! (enabled by default) and selected by runtime CPU detection; disabling
 //! the feature forces the portable scalar fallbacks on every backend.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod avx;
+#[cfg(feature = "checked-kernels")]
+pub mod checked;
 mod error;
 pub mod fastscan;
 pub mod gather;

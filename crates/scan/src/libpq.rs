@@ -31,7 +31,11 @@ pub fn scan_libpq(tables: &DistanceTables, codes: &RowMajorCodes, topk: usize) -
 
     for (i, chunk) in bytes.chunks_exact(LIBPQ_M).enumerate() {
         // mem1: a single 64-bit load.
-        let word = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+        let word = u64::from_le_bytes(
+            chunk
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("chunks_exact yields 8 bytes")),
+        );
         // mem2: 8 table lookups addressed by shift+mask.
         let mut d = 0f32;
         for j in 0..LIBPQ_M {

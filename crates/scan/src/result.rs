@@ -69,7 +69,7 @@ impl PerBackendStats {
         Backend::ALL
             .iter()
             .position(|&b| b == backend)
-            .expect("Backend::ALL covers every variant")
+            .unwrap_or_else(|| unreachable!("Backend::ALL covers every variant"))
     }
 
     /// Accumulates one scan's counters under its backend.

@@ -56,6 +56,8 @@
 //! assert_eq!(result.ids(), reference.ids());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use pqfs_columnar as columnar;
 pub use pqfs_core as core;
 pub use pqfs_data as data;
