@@ -9,6 +9,10 @@
 //! pqfs query   --index index.pqiv --queries q.fvecs [--topk 100]
 //!              [--backend <name>] [--keep 0.005] [--nprobe 1]
 //!              [--batch true] [--threads N] [--trace true]
+//! pqfs serve   --index index.pqiv [--addr 127.0.0.1:7071] [--backend <name>]
+//!              [--max-batch 32] [--linger-us 500] [--queue 256] [--threads N]
+//! pqfs bench-client --addr 127.0.0.1:7071 [--n 1000] [--batch 1]
+//!              [--connections 1] [--topk 10] [--nprobe 1] [--deadline-ms N]
 //! ```
 //!
 //! `--backend` accepts any name from the scan registry (`pqfs query` run
@@ -34,6 +38,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 mod args;
+mod bench_client;
+mod serve;
 use args::Args;
 
 /// Exit code 1: usage mistakes, bad arguments, search/config failures.
@@ -95,6 +101,8 @@ fn main() -> ExitCode {
         "build" => cmd_build(&args),
         "info" => cmd_info(&args),
         "query" => cmd_query(&args),
+        "serve" => serve::cmd_serve(&args),
+        "bench-client" => bench_client::cmd_bench_client(&args),
         "help" | "--help" | "-h" => {
             println!("{usage}");
             Ok(Outcome::Clean)
@@ -153,6 +161,13 @@ USAGE:
               [--backend <name>] [--keep 0.005] [--nprobe 1]
               [--deadline-ms N] [--batch true] [--threads N]
               [--trace true]
+  pqfs serve  --index <index.pqiv> [--addr 127.0.0.1:7071]
+              [--backend <name>] [--max-batch 32] [--linger-us 500]
+              [--queue 256] [--threads N]
+  pqfs bench-client
+              --addr <host:port> [--n 1000] [--batch 1] [--connections 1]
+              [--topk 10] [--nprobe 1] [--keep 0.05] [--deadline-ms N]
+              [--seed 0]
 
   --threads N  size of the shared worker pool used by build encoding,
                multi-probe (--nprobe > 1) and batch (--batch true) queries.
@@ -169,11 +184,26 @@ USAGE:
                per-probe tables + scan, merge) to stderr. Not available
                with --batch true.
   --metrics-out <file>
-               write the telemetry registry on exit (any command):
-               Prometheus text for .prom/.txt files, JSON otherwise.
+               write the telemetry registry on exit (any command,
+               including serve's drain-then-exit): Prometheus text for
+               .prom/.txt files, JSON otherwise.
 
-EXIT CODES: 0 success | 1 error | 2 artifact load failure | 3 degraded
-            results (probe failures or deadline skips)
+  serve keeps the index hot in memory and answers the binary protocol
+  (see docs/SERVING.md) until SIGTERM/ctrl-c, then drains in-flight
+  requests and exits 0. It prints 'listening on <addr>' once ready.
+  --max-batch and --linger-us bound the server-side batch coalescing;
+  --queue caps the admission queue (overflow is shed with a typed
+  Overloaded response, never queued unboundedly).
+
+  bench-client sends synthetic load at a running serve and prints one
+  JSON line: queries, qps, p50/p90/p99 latency (ms), errors, shed. It
+  exits 1 if any request failed (shed responses are counted separately).
+
+EXIT CODES: 0 success | 1 error (including any bench-client request
+            failure) | 2 artifact load failure | 3 degraded results
+            (probe failures or deadline skips; query command only —
+            serve reports degradation per response, not via its exit
+            code)
 
 The PQFS_FAILPOINTS environment variable arms deterministic fault
 injection at named IO/search sites (testing; see the pqfs_fault crate).

@@ -1085,6 +1085,11 @@ impl IvfadcIndex {
         &self.scan
     }
 
+    /// Dimensionality of the vectors this index serves.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// The trained product quantizer.
     pub fn pq(&self) -> &ProductQuantizer {
         &self.pq

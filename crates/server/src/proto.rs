@@ -1,0 +1,869 @@
+//! The wire protocol: versioned, length-prefixed, CRC-checked frames.
+//!
+//! Every message on a connection is one *frame*:
+//!
+//! ```text
+//! magic       4 bytes   "PQSV"
+//! version     u8        currently 1
+//! kind        u8        frame type (see [`FrameKind`])
+//! reserved    u16 LE    must be 0
+//! payload_len u32 LE    payload byte count (capped, see [`MAX_PAYLOAD`])
+//! payload     payload_len bytes
+//! crc         u32 LE    CRC-32 (IEEE) of the payload bytes
+//! ```
+//!
+//! The header is fixed at [`HEADER_LEN`] bytes; the CRC trails the payload
+//! so a writer can stream it. The CRC reuses the persist-format digest
+//! ([`pqfs_core::crc32`]), so a single flipped bit anywhere in the payload
+//! fails the frame with a typed [`ProtoError::Crc`] instead of silently
+//! corrupting a query. The `payload_len` cap is enforced *before* any
+//! allocation, and payload bytes are read through
+//! [`pqfs_core::persist::read_exact_vec`], so a lying length on a short
+//! stream errors out instead of OOM-aborting.
+//!
+//! All multi-byte integers are little-endian. Floats are IEEE-754 bit
+//! patterns (`f32::to_le_bytes` / `f64::to_le_bytes`), so NaN payloads
+//! round-trip bit-exactly.
+//!
+//! Decoding never panics: every length is validated against both the
+//! remaining payload and a hard cap before use, and a payload with
+//! trailing garbage is rejected ([`ProtoError::TrailingBytes`]).
+
+use pqfs_core::persist::read_exact_vec;
+use pqfs_core::{crc32, Neighbor};
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"PQSV";
+/// Current protocol version; readers reject anything else.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header length (magic + version + kind + reserved + len).
+pub const HEADER_LEN: usize = 12;
+/// Hard cap on `payload_len`: frames above this are rejected before any
+/// allocation (64 MiB fits ~130k 128-dim f32 queries in one batch).
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Caps on decoded quantities, enforced before allocation.
+const MAX_DIM: u32 = 1 << 16;
+const MAX_BATCH: u32 = 1 << 20;
+const MAX_TOPK: u32 = 1 << 20;
+const MAX_BACKEND_LEN: u8 = 64;
+const MAX_MESSAGE_LEN: u32 = 1 << 16;
+
+/// Frame types. Requests have the high bit clear, responses set; error
+/// responses live at `0xE0..`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Request: one query vector.
+    Query = 0x01,
+    /// Request: a batch of query vectors sharing one parameter set.
+    BatchQuery = 0x02,
+    /// Request: liveness + index shape.
+    Health = 0x03,
+    /// Request: the server's telemetry snapshot.
+    Stats = 0x04,
+    /// Response to [`FrameKind::Query`].
+    QueryResult = 0x81,
+    /// Response to [`FrameKind::BatchQuery`].
+    BatchResult = 0x82,
+    /// Response to [`FrameKind::Health`].
+    HealthInfo = 0x83,
+    /// Response to [`FrameKind::Stats`] (JSON text payload).
+    StatsJson = 0x84,
+    /// Typed failure (bad frame, bad request, search failure, shutdown).
+    Error = 0xE0,
+    /// Admission control shed this request: the queue was full.
+    Overloaded = 0xE1,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0x01 => FrameKind::Query,
+            0x02 => FrameKind::BatchQuery,
+            0x03 => FrameKind::Health,
+            0x04 => FrameKind::Stats,
+            0x81 => FrameKind::QueryResult,
+            0x82 => FrameKind::BatchResult,
+            0x83 => FrameKind::HealthInfo,
+            0x84 => FrameKind::StatsJson,
+            0xE0 => FrameKind::Error,
+            0xE1 => FrameKind::Overloaded,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a request failed, carried in [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame itself was malformed (bad magic/CRC/layout); the server
+    /// closes the connection after sending this, since the stream cannot
+    /// be resynchronized.
+    BadFrame = 1,
+    /// The frame decoded but its contents were invalid (wrong dimension,
+    /// unknown backend, zero topk, …). The connection stays usable.
+    BadRequest = 2,
+    /// The search itself failed (every probe failed, backend error).
+    SearchFailed = 3,
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::SearchFailed,
+            4 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::SearchFailed => "search-failed",
+            ErrorCode::ShuttingDown => "shutting-down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Protocol-level failures (framing and payload decoding).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The frame does not start with [`MAGIC`].
+    Magic([u8; 4]),
+    /// Unsupported protocol version.
+    Version(u8),
+    /// Unknown frame type byte.
+    Kind(u8),
+    /// The reserved header field was nonzero.
+    Reserved(u16),
+    /// `payload_len` exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The declared payload length.
+        len: u32,
+        /// The enforced cap.
+        max: u32,
+    },
+    /// The payload CRC does not match its contents.
+    Crc {
+        /// CRC stored in the frame trailer.
+        stored: u32,
+        /// CRC computed over the payload actually read.
+        computed: u32,
+    },
+    /// The stream ended inside a frame.
+    Truncated(&'static str),
+    /// The payload layout is invalid (bad length, cap exceeded, trailing
+    /// garbage, invalid enum value).
+    Malformed(String),
+    /// The payload was shorter than its own declared contents.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io error: {e}"),
+            ProtoError::Magic(m) => write!(f, "bad frame magic {m:02x?}"),
+            ProtoError::Version(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::Kind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            ProtoError::Reserved(r) => write!(f, "nonzero reserved header field {r:#06x}"),
+            ProtoError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds the {max}-byte cap")
+            }
+            ProtoError::Crc { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ProtoError::Truncated(what) => write!(f, "stream truncated inside {what}"),
+            ProtoError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            ProtoError::TrailingBytes(n) => {
+                write!(f, "{n} trailing payload bytes after the last field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated("frame")
+        } else {
+            ProtoError::Io(e)
+        }
+    }
+}
+
+/// One raw frame: its type and undecoded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// The payload bytes (CRC already verified on read).
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame (header, payload, CRC trailer). The writer is not
+/// flushed; callers flush once per response.
+///
+/// # Errors
+///
+/// [`ProtoError::Oversized`] when the payload exceeds [`MAX_PAYLOAD`], or
+/// the underlying IO error.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), ProtoError> {
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    if len > MAX_PAYLOAD || payload.len() > MAX_PAYLOAD as usize {
+        return Err(ProtoError::Oversized {
+            len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = kind as u8;
+    // header[6..8] reserved, already 0.
+    header[8..12].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header).map_err(ProtoError::Io)?;
+    w.write_all(payload).map_err(ProtoError::Io)?;
+    w.write_all(&crc32(payload).to_le_bytes())
+        .map_err(ProtoError::Io)?;
+    Ok(())
+}
+
+/// Reads one frame, verifying magic, version, the payload cap and the CRC.
+///
+/// Returns `Ok(None)` on a clean EOF *at a frame boundary* (the peer hung
+/// up between requests); EOF anywhere inside a frame is
+/// [`ProtoError::Truncated`].
+///
+/// # Errors
+///
+/// Any [`ProtoError`] variant; the stream position is unspecified after an
+/// error, so callers must close the connection.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte by hand, to tell "no next frame" from "torn frame".
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    header[0] = first[0];
+    r.read_exact(&mut header[1..])
+        .map_err(|e| truncated(e, "frame header"))?;
+    if header[..4] != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&header[..4]);
+        return Err(ProtoError::Magic(m));
+    }
+    if header[4] != VERSION {
+        return Err(ProtoError::Version(header[4]));
+    }
+    let kind = FrameKind::from_u8(header[5]).ok_or(ProtoError::Kind(header[5]))?;
+    let reserved = u16::from_le_bytes([header[6], header[7]]);
+    if reserved != 0 {
+        return Err(ProtoError::Reserved(reserved));
+    }
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized {
+            len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let payload = read_exact_vec(r, u64::from(len), "frame payload")
+        .map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)
+        .map_err(|e| truncated(e, "frame checksum"))?;
+    let stored = u32::from_le_bytes(crc_bytes);
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(ProtoError::Crc { stored, computed });
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+fn truncated(e: io::Error, what: &'static str) -> ProtoError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        ProtoError::Truncated(what)
+    } else {
+        ProtoError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed messages
+// ---------------------------------------------------------------------------
+
+/// Search parameters shared by single and batch queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryParams {
+    /// Neighbors to return per query (must be positive).
+    pub topk: u32,
+    /// Partitions to probe per query (must be positive).
+    pub nprobe: u32,
+    /// Fast Scan keep fraction (candidate ratio kept exact).
+    pub keep: f64,
+    /// Per-request deadline in microseconds, measured from *arrival at the
+    /// server*; `0` means no deadline. Queue wait counts against it, and
+    /// the remainder flows into the budgeted multi-probe search (the
+    /// nearest probe always runs).
+    pub deadline_us: u64,
+    /// Scan backend name (empty = the server's default backend).
+    pub backend: String,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        QueryParams {
+            topk: 10,
+            nprobe: 1,
+            keep: 0.005,
+            deadline_us: 0,
+            backend: String::new(),
+        }
+    }
+}
+
+/// A query request: parameters plus one or more row-major query vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Shared search parameters.
+    pub params: QueryParams,
+    /// Vector dimensionality.
+    pub dim: u32,
+    /// `count × dim` row-major components.
+    pub queries: Vec<f32>,
+}
+
+impl QueryRequest {
+    /// Number of query vectors carried.
+    pub fn count(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.queries.len() / self.dim as usize
+        }
+    }
+}
+
+/// One query's answer: probe coverage plus the neighbor list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryAnswer {
+    /// Probes that completed and contributed candidates.
+    pub probes_ok: u32,
+    /// Probes that failed (result set may be incomplete).
+    pub probes_failed: u32,
+    /// Probes skipped by the deadline budget.
+    pub probes_skipped: u32,
+    /// Nearest neighbors, ascending by `(distance, id)`.
+    pub neighbors: Vec<Neighbor>,
+}
+
+impl QueryAnswer {
+    /// True when some probe failed or was skipped: the neighbor list may
+    /// be missing candidates (deadline shed or partition failure).
+    pub fn degraded(&self) -> bool {
+        self.probes_failed > 0 || self.probes_skipped > 0
+    }
+}
+
+/// The health response: liveness plus index shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Total indexed vectors.
+    pub vectors: u64,
+    /// Coarse partition count.
+    pub partitions: u32,
+    /// Vector dimensionality the index serves.
+    pub dim: u32,
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// One query vector.
+    Query(QueryRequest),
+    /// A batch sharing one parameter set.
+    Batch(QueryRequest),
+    /// Liveness probe.
+    Health,
+    /// Telemetry snapshot request.
+    Stats,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Query`].
+    Query(QueryAnswer),
+    /// Answers to [`Request::Batch`], in query order.
+    Batch(Vec<QueryAnswer>),
+    /// Answer to [`Request::Health`].
+    Health(HealthInfo),
+    /// Answer to [`Request::Stats`]: the JSON snapshot text.
+    Stats(String),
+    /// Typed failure.
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Shed by admission control: the bounded queue was full.
+    Overloaded {
+        /// Configured queue capacity.
+        capacity: u32,
+        /// Queue depth observed at rejection.
+        depth: u32,
+    },
+}
+
+// --- encoding helpers ------------------------------------------------------
+
+fn put_params(out: &mut Vec<u8>, p: &QueryParams) {
+    out.extend_from_slice(&p.topk.to_le_bytes());
+    out.extend_from_slice(&p.nprobe.to_le_bytes());
+    out.extend_from_slice(&p.keep.to_le_bytes());
+    out.extend_from_slice(&p.deadline_us.to_le_bytes());
+    let name = p.backend.as_bytes();
+    let len = name.len().min(MAX_BACKEND_LEN as usize);
+    out.push(len as u8);
+    out.extend_from_slice(&name[..len]);
+}
+
+fn put_answer(out: &mut Vec<u8>, a: &QueryAnswer) {
+    out.extend_from_slice(&a.probes_ok.to_le_bytes());
+    out.extend_from_slice(&a.probes_failed.to_le_bytes());
+    out.extend_from_slice(&a.probes_skipped.to_le_bytes());
+    let n = u32::try_from(a.neighbors.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&n.to_le_bytes());
+    for nb in &a.neighbors {
+        out.extend_from_slice(&nb.id.to_le_bytes());
+        out.extend_from_slice(&nb.dist.to_le_bytes());
+    }
+}
+
+fn put_queries(out: &mut Vec<u8>, req: &QueryRequest, with_count: bool) {
+    put_params(out, &req.params);
+    out.extend_from_slice(&req.dim.to_le_bytes());
+    if with_count {
+        let count = u32::try_from(req.count()).unwrap_or(u32::MAX);
+        out.extend_from_slice(&count.to_le_bytes());
+    }
+    for x in &req.queries {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+impl Request {
+    /// Serializes into a frame.
+    pub fn to_frame(&self) -> Frame {
+        let (kind, payload) = match self {
+            Request::Query(req) => {
+                let mut out = Vec::with_capacity(64 + req.queries.len() * 4);
+                put_queries(&mut out, req, false);
+                (FrameKind::Query, out)
+            }
+            Request::Batch(req) => {
+                let mut out = Vec::with_capacity(64 + req.queries.len() * 4);
+                put_queries(&mut out, req, true);
+                (FrameKind::BatchQuery, out)
+            }
+            Request::Health => (FrameKind::Health, Vec::new()),
+            Request::Stats => (FrameKind::Stats, Vec::new()),
+        };
+        Frame { kind, payload }
+    }
+
+    /// Decodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Kind`] for response-typed frames,
+    /// [`ProtoError::Malformed`]/[`ProtoError::TrailingBytes`] for invalid
+    /// payload layouts.
+    pub fn from_frame(frame: &Frame) -> Result<Request, ProtoError> {
+        let mut rd = Rd::new(&frame.payload);
+        let req = match frame.kind {
+            FrameKind::Query => {
+                let r = rd.queries(false)?;
+                Request::Query(r)
+            }
+            FrameKind::BatchQuery => {
+                let r = rd.queries(true)?;
+                Request::Batch(r)
+            }
+            FrameKind::Health => Request::Health,
+            FrameKind::Stats => Request::Stats,
+            other => return Err(ProtoError::Kind(other as u8)),
+        };
+        rd.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes into a frame.
+    pub fn to_frame(&self) -> Frame {
+        let (kind, payload) = match self {
+            Response::Query(a) => {
+                let mut out = Vec::with_capacity(16 + a.neighbors.len() * 12);
+                put_answer(&mut out, a);
+                (FrameKind::QueryResult, out)
+            }
+            Response::Batch(answers) => {
+                let mut out = Vec::new();
+                let n = u32::try_from(answers.len()).unwrap_or(u32::MAX);
+                out.extend_from_slice(&n.to_le_bytes());
+                for a in answers {
+                    put_answer(&mut out, a);
+                }
+                (FrameKind::BatchResult, out)
+            }
+            Response::Health(h) => {
+                let mut out = Vec::with_capacity(16);
+                out.extend_from_slice(&h.vectors.to_le_bytes());
+                out.extend_from_slice(&h.partitions.to_le_bytes());
+                out.extend_from_slice(&h.dim.to_le_bytes());
+                (FrameKind::HealthInfo, out)
+            }
+            Response::Stats(json) => (FrameKind::StatsJson, json.as_bytes().to_vec()),
+            Response::Error { code, message } => {
+                let msg = message.as_bytes();
+                let len = msg.len().min(MAX_MESSAGE_LEN as usize);
+                let mut out = Vec::with_capacity(5 + len);
+                out.push(*code as u8);
+                out.extend_from_slice(&(len as u32).to_le_bytes());
+                out.extend_from_slice(&msg[..len]);
+                (FrameKind::Error, out)
+            }
+            Response::Overloaded { capacity, depth } => {
+                let mut out = Vec::with_capacity(8);
+                out.extend_from_slice(&capacity.to_le_bytes());
+                out.extend_from_slice(&depth.to_le_bytes());
+                (FrameKind::Overloaded, out)
+            }
+        };
+        Frame { kind, payload }
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Kind`] for request-typed frames,
+    /// [`ProtoError::Malformed`]/[`ProtoError::TrailingBytes`] for invalid
+    /// payload layouts.
+    pub fn from_frame(frame: &Frame) -> Result<Response, ProtoError> {
+        let mut rd = Rd::new(&frame.payload);
+        let resp = match frame.kind {
+            FrameKind::QueryResult => Response::Query(rd.answer()?),
+            FrameKind::BatchResult => {
+                let n = rd.u32()?;
+                if n > MAX_BATCH {
+                    return Err(malformed(format!("batch result count {n} exceeds cap")));
+                }
+                let mut answers = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    answers.push(rd.answer()?);
+                }
+                Response::Batch(answers)
+            }
+            FrameKind::HealthInfo => Response::Health(HealthInfo {
+                vectors: rd.u64()?,
+                partitions: rd.u32()?,
+                dim: rd.u32()?,
+            }),
+            FrameKind::StatsJson => {
+                let bytes = rd.rest();
+                let json = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| malformed("stats payload is not UTF-8".into()))?;
+                Response::Stats(json)
+            }
+            FrameKind::Error => {
+                let raw = rd.u8()?;
+                let code = ErrorCode::from_u8(raw)
+                    .ok_or_else(|| malformed(format!("error code {raw}")))?;
+                let len = rd.u32()?;
+                if len > MAX_MESSAGE_LEN {
+                    return Err(malformed(format!("error message length {len} exceeds cap")));
+                }
+                let bytes = rd.bytes(len as usize)?;
+                let message = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| malformed("error message is not UTF-8".into()))?;
+                Response::Error { code, message }
+            }
+            FrameKind::Overloaded => Response::Overloaded {
+                capacity: rd.u32()?,
+                depth: rd.u32()?,
+            },
+            other => return Err(ProtoError::Kind(other as u8)),
+        };
+        rd.finish()?;
+        Ok(resp)
+    }
+}
+
+fn malformed(msg: String) -> ProtoError {
+    ProtoError::Malformed(msg)
+}
+
+/// A bounds-checked payload cursor. Every read validates the remaining
+/// length first, so decoding cannot panic on any byte sequence.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError::Truncated("payload field"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtoError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+
+    /// Rejects trailing bytes after the last decoded field.
+    fn finish(&self) -> Result<(), ProtoError> {
+        let left = self.buf.len() - self.pos;
+        if left != 0 {
+            return Err(ProtoError::TrailingBytes(left));
+        }
+        Ok(())
+    }
+
+    fn params(&mut self) -> Result<QueryParams, ProtoError> {
+        let topk = self.u32()?;
+        let nprobe = self.u32()?;
+        let keep = self.f64()?;
+        let deadline_us = self.u64()?;
+        if topk == 0 || topk > MAX_TOPK {
+            return Err(malformed(format!(
+                "topk {topk} out of range 1..={MAX_TOPK}"
+            )));
+        }
+        if nprobe == 0 {
+            return Err(malformed("nprobe must be positive".into()));
+        }
+        let name_len = self.u8()?;
+        if name_len > MAX_BACKEND_LEN {
+            return Err(malformed(format!("backend name length {name_len}")));
+        }
+        let backend = std::str::from_utf8(self.bytes(name_len as usize)?)
+            .map_err(|_| malformed("backend name is not UTF-8".into()))?
+            .to_string();
+        Ok(QueryParams {
+            topk,
+            nprobe,
+            keep,
+            deadline_us,
+            backend,
+        })
+    }
+
+    fn queries(&mut self, with_count: bool) -> Result<QueryRequest, ProtoError> {
+        let params = self.params()?;
+        let dim = self.u32()?;
+        if dim == 0 || dim > MAX_DIM {
+            return Err(malformed(format!("dim {dim} out of range 1..={MAX_DIM}")));
+        }
+        let count = if with_count {
+            let c = self.u32()?;
+            if c == 0 || c > MAX_BATCH {
+                return Err(malformed(format!("batch count {c} out of range")));
+            }
+            c
+        } else {
+            1
+        };
+        // The component count must exactly match what the payload holds;
+        // both factors were just range-checked so the product cannot wrap.
+        let floats = count as usize * dim as usize;
+        let want = floats
+            .checked_mul(4)
+            .ok_or(ProtoError::Truncated("query"))?;
+        let left = self.buf.len() - self.pos;
+        if left != want {
+            return Err(malformed(format!(
+                "query payload holds {left} bytes but {count}x{dim} vectors need {want}"
+            )));
+        }
+        let mut queries = Vec::with_capacity(floats);
+        for _ in 0..floats {
+            queries.push(self.f32()?);
+        }
+        Ok(QueryRequest {
+            params,
+            dim,
+            queries,
+        })
+    }
+
+    fn answer(&mut self) -> Result<QueryAnswer, ProtoError> {
+        let probes_ok = self.u32()?;
+        let probes_failed = self.u32()?;
+        let probes_skipped = self.u32()?;
+        let n = self.u32()?;
+        if n > MAX_TOPK {
+            return Err(malformed(format!("neighbor count {n} exceeds cap")));
+        }
+        // 12 bytes per neighbor must fit in the remaining payload before
+        // the vector is allocated.
+        let need = n as usize * 12;
+        if self.buf.len() - self.pos < need {
+            return Err(ProtoError::Truncated("neighbor list"));
+        }
+        let mut neighbors = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let id = self.u64()?;
+            let dist = self.f32()?;
+            neighbors.push(Neighbor { id, dist });
+        }
+        Ok(QueryAnswer {
+            probes_ok,
+            probes_failed,
+            probes_skipped,
+            neighbors,
+        })
+    }
+}
+
+/// Serializes a frame into an owned byte buffer (tests and clients that
+/// want the raw encoding).
+pub fn frame_bytes(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + frame.payload.len() + 4);
+    // Writing into a Vec cannot fail and the payload was built by this
+    // module, so the only possible error is the oversize guard.
+    if write_frame(&mut out, frame.kind, &frame.payload).is_err() {
+        out.clear();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = Frame {
+            kind: FrameKind::Query,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = frame_bytes(&frame);
+        assert_eq!(bytes.len(), HEADER_LEN + 5 + 4);
+        let got = read_frame(&mut &bytes[..]).unwrap().unwrap();
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_frame(&mut &[][..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = frame_bytes(&Frame {
+            kind: FrameKind::Health,
+            payload: Vec::new(),
+        });
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(ProtoError::Magic(_))
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_crc() {
+        let mut bytes = frame_bytes(&Frame {
+            kind: FrameKind::StatsJson,
+            payload: b"{\"a\":1}".to_vec(),
+        });
+        bytes[HEADER_LEN + 2] ^= 1;
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(ProtoError::Crc { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = frame_bytes(&Frame {
+            kind: FrameKind::Health,
+            payload: Vec::new(),
+        });
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(ProtoError::Oversized { .. })
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! Bounded admission queue with batch-coalescing pops.
+//!
+//! The admission-control contract: [`RequestQueue::push`] **never
+//! blocks**. A full queue rejects immediately with the observed depth so
+//! the caller can send a typed overload response — under overload the
+//! server sheds, it does not stack latency. The consumer side
+//! ([`RequestQueue::pop_batch`]) blocks for the first item, then lingers
+//! a bounded time to coalesce more work into one batch, which is where
+//! ADC-table amortization comes from.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the request must be shed.
+    Full {
+        /// Configured capacity.
+        capacity: usize,
+        /// Depth observed at rejection (== capacity).
+        depth: usize,
+    },
+    /// The queue was closed for shutdown; no new work is admitted.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue: producers shed on full, the consumer coalesces.
+pub struct RequestQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> RequestQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        RequestQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy snapshot, for metrics).
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
+    }
+
+    /// Enqueues one item without ever blocking.
+    ///
+    /// Returns the depth *after* the push on success.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when at capacity (the item is returned to the
+    /// caller's ownership conceptually — it is dropped here, so callers
+    /// must respond before pushing), [`PushError::Closed`] after
+    /// [`RequestQueue::close`].
+    pub fn push(&self, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                capacity: self.capacity,
+                depth: inner.items.len(),
+            });
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Pops a coalesced batch.
+    ///
+    /// Blocks until at least one item is available, then keeps collecting
+    /// until the cumulative `weight_fn` total reaches `max_weight` or
+    /// `linger` elapses without the batch filling. Returns `None` only
+    /// when the queue is closed **and** drained — the natural shutdown
+    /// signal for the consumer loop.
+    pub fn pop_batch(
+        &self,
+        max_weight: usize,
+        weight_fn: impl Fn(&T) -> usize,
+        linger: Duration,
+    ) -> Option<Vec<T>> {
+        let max_weight = max_weight.max(1);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // Phase 1: wait for the first item (or closed-and-empty).
+        loop {
+            if !inner.items.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let mut batch = Vec::new();
+        let mut weight = 0usize;
+        let deadline = Instant::now() + linger;
+        // Phase 2: drain what is here, then linger for more until the
+        // batch is full, the linger expires, or the queue closes.
+        loop {
+            while weight < max_weight {
+                let Some(front_w) = inner.items.front().map(&weight_fn) else {
+                    break;
+                };
+                // A single oversized item still ships alone; otherwise
+                // stop before overflowing the weight budget.
+                if !batch.is_empty() && weight + front_w.max(1) > max_weight {
+                    return Some(batch);
+                }
+                // `front()` was `Some`, so `pop_front()` is too.
+                if let Some(item) = inner.items.pop_front() {
+                    weight += front_w.max(1);
+                    batch.push(item);
+                }
+            }
+            if weight >= max_weight || inner.closed {
+                return Some(batch);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(batch);
+            }
+            let (guard, timeout) = self
+                .ready
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                return Some(batch);
+            }
+        }
+    }
+
+    /// Closes the queue: pushes fail with [`PushError::Closed`], and
+    /// [`RequestQueue::pop_batch`] drains the remainder then returns
+    /// `None`. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// True once [`RequestQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_sheds_on_full_instead_of_blocking() {
+        let q = RequestQueue::new(2);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(
+            q.push(3),
+            Err(PushError::Full {
+                capacity: 2,
+                depth: 2
+            })
+        );
+    }
+
+    #[test]
+    fn pop_batch_coalesces_up_to_weight() {
+        let q = RequestQueue::new(16);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let batch = q
+            .pop_batch(3, |_| 1, Duration::from_millis(1))
+            .expect("open queue");
+        assert_eq!(batch, vec![0, 1, 2]);
+        let rest = q
+            .pop_batch(8, |_| 1, Duration::from_millis(1))
+            .expect("open queue");
+        assert_eq!(rest, vec![3, 4]);
+    }
+
+    #[test]
+    fn oversized_item_ships_alone() {
+        let q = RequestQueue::new(4);
+        q.push(10).unwrap();
+        q.push(1).unwrap();
+        let batch = q
+            .pop_batch(4, |&w| w, Duration::from_millis(1))
+            .expect("open queue");
+        assert_eq!(batch, vec![10]);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Arc::new(RequestQueue::new(8));
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(PushError::Closed));
+        assert_eq!(
+            q.pop_batch(4, |_| 1, Duration::from_millis(1)),
+            Some(vec![7])
+        );
+        assert_eq!(q.pop_batch(4, |_| 1, Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn consumer_wakes_on_push_and_close() {
+        let q = Arc::new(RequestQueue::new(8));
+        let qc = Arc::clone(&q);
+        let consumer = thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(batch) = qc.pop_batch(4, |_| 1, Duration::from_millis(5)) {
+                seen.extend(batch);
+            }
+            seen
+        });
+        for i in 0..10 {
+            while q.push(i).is_err() {
+                thread::yield_now();
+            }
+        }
+        q.close();
+        let seen = consumer.join().expect("consumer thread");
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,656 @@
+//! The serving core: acceptor, per-connection protocol loops, and the
+//! batch-coalescing executor.
+//!
+//! Thread structure (all plain std threads, all joined on shutdown):
+//!
+//! ```text
+//! acceptor ──spawns──▶ conn threads (one per client, protocol loop)
+//!                         │  push Job (bounded queue, shed on full)
+//!                         ▼
+//!                      batcher ── pop_batch (coalesce) ──▶ pool wave
+//! ```
+//!
+//! A connection thread never computes: it decodes a frame, validates it,
+//! pushes a [`Job`] carrying a reply channel, and blocks on the reply.
+//! The batcher pops coalesced batches and fans the flattened queries out
+//! on the shared [`ThreadPool`], one `search_probes_budgeted` call per
+//! query with the *remaining* deadline (arrival-to-now already spent in
+//! the queue counts against the budget). This is the amortization the
+//! paper's serving story needs: one wave of table computations per batch
+//! instead of one per round-trip.
+//!
+//! Shutdown (SIGTERM, ctrl-c, or [`ServerHandle::trigger_shutdown`]):
+//! the acceptor stops admitting connections, the queue closes (new pushes
+//! get a typed shutting-down error), the batcher drains what is queued
+//! and answers it, connection threads finish their in-flight round trip
+//! and exit at the next frame boundary, and every thread is joined.
+
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, Frame, HealthInfo, QueryAnswer, Request, Response,
+};
+use crate::queue::{PushError, RequestQueue};
+use pqfs_fault::{FaultRead, FaultWrite};
+use pqfs_ivf::{IvfadcIndex, SearchBackend};
+use pqfs_obs::{LazyCounter, LazyGauge, LazyHistogram};
+use pqfs_pool::ThreadPool;
+use std::io::{self, BufWriter, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+static CONNECTIONS_TOTAL: LazyCounter = LazyCounter::new(
+    "pqfs_server_connections_total",
+    "Client connections accepted",
+);
+static CONNECTIONS_ACTIVE: LazyGauge = LazyGauge::new(
+    "pqfs_server_connections_active",
+    "Client connections currently open",
+);
+static REQ_QUERY: LazyCounter = LazyCounter::labeled(
+    "pqfs_server_requests_total",
+    "Requests received, by frame type",
+    "type",
+    "query",
+);
+static REQ_BATCH: LazyCounter = LazyCounter::labeled(
+    "pqfs_server_requests_total",
+    "Requests received, by frame type",
+    "type",
+    "batch",
+);
+static REQ_HEALTH: LazyCounter = LazyCounter::labeled(
+    "pqfs_server_requests_total",
+    "Requests received, by frame type",
+    "type",
+    "health",
+);
+static REQ_STATS: LazyCounter = LazyCounter::labeled(
+    "pqfs_server_requests_total",
+    "Requests received, by frame type",
+    "type",
+    "stats",
+);
+static SHED_TOTAL: LazyCounter = LazyCounter::new(
+    "pqfs_server_shed_total",
+    "Requests shed by admission control (queue full)",
+);
+static PROTO_ERRORS: LazyCounter = LazyCounter::new(
+    "pqfs_server_protocol_errors_total",
+    "Connections dropped on malformed or corrupted frames",
+);
+static ACCEPT_ERRORS: LazyCounter = LazyCounter::new(
+    "pqfs_server_accept_errors_total",
+    "Connections dropped at accept time",
+);
+static BATCHES_TOTAL: LazyCounter = LazyCounter::new(
+    "pqfs_server_batches_total",
+    "Coalesced batches executed by the batcher",
+);
+static BATCH_QUERIES: LazyHistogram = LazyHistogram::new(
+    "pqfs_server_batch_queries",
+    "Queries per coalesced batch (count, not ns)",
+);
+static QUEUE_DEPTH_HWM: LazyGauge = LazyGauge::new(
+    "pqfs_server_queue_depth_hwm",
+    "High-water mark of the admission queue depth",
+);
+static QUEUE_WAIT_NS: LazyHistogram = LazyHistogram::new(
+    "pqfs_server_queue_wait_ns",
+    "Time requests spent queued before batching",
+);
+static REQUEST_NS: LazyHistogram = LazyHistogram::new(
+    "pqfs_server_request_ns",
+    "Request latency, frame decoded to response flushed",
+);
+
+/// Connections currently open, mirrored into [`CONNECTIONS_ACTIVE`].
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Server tuning knobs. `Default` values suit tests and small fixtures;
+/// the CLI exposes the interesting ones as flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Backend used when a request leaves the backend name empty.
+    pub default_backend: SearchBackend,
+    /// Batch weight cap: the batcher stops coalescing at this many
+    /// queries (a batch-query frame weighs its query count).
+    pub max_batch: usize,
+    /// How long the batcher lingers for more work once it holds at least
+    /// one request. Zero means ship immediately.
+    pub max_linger: Duration,
+    /// Admission queue capacity, in *requests* (frames, not queries).
+    pub queue_capacity: usize,
+    /// Acceptor idle-poll interval (also the shutdown-latency bound for
+    /// an idle acceptor).
+    pub poll_interval: Duration,
+    /// Per-read socket timeout; idle connections poll the shutdown flag
+    /// at this cadence, and a peer that stalls mid-frame is dropped
+    /// after this long.
+    pub read_timeout: Duration,
+    /// How long a connection thread waits for the batcher's reply before
+    /// giving up on the request (a backstop; the batcher answers every
+    /// queued job, so this only fires if execution itself wedges).
+    pub reply_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            default_backend: SearchBackend::FastScan,
+            max_batch: 32,
+            max_linger: Duration::from_micros(500),
+            queue_capacity: 256,
+            poll_interval: Duration::from_millis(5),
+            read_timeout: Duration::from_millis(50),
+            reply_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Search parameters resolved and validated at admission time, so the
+/// batcher never re-parses.
+struct Resolved {
+    topk: usize,
+    nprobe: usize,
+    keep: f64,
+    backend: SearchBackend,
+    deadline: Option<Duration>,
+}
+
+/// One admitted request: queries, resolved parameters, arrival time, and
+/// the channel its connection thread blocks on.
+struct Job {
+    dim: usize,
+    queries: Vec<f32>,
+    batch: bool,
+    resolved: Resolved,
+    arrival: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+impl Job {
+    fn count(&self) -> usize {
+        self.queries.len().checked_div(self.dim).unwrap_or(0)
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    index: Arc<IvfadcIndex>,
+    config: ServerConfig,
+    queue: RequestQueue<Job>,
+    shutdown: AtomicBool,
+}
+
+/// The server entry point; see the module docs for the thread structure.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr`, spawns the acceptor and batcher threads, and
+    /// returns a handle controlling the running server.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, when the address is unavailable.
+    pub fn start(index: Arc<IvfadcIndex>, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            index,
+            queue: RequestQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("pqfs-batcher".to_string())
+                .spawn(move || batcher_loop(&shared))?
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("pqfs-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, &shared))?
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            acceptor: Mutex::new(Some(acceptor)),
+            batcher: Mutex::new(Some(batcher)),
+        })
+    }
+}
+
+/// Controls a running server: address, shutdown trigger, join.
+pub struct ServerHandle {
+    local_addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Mutex<Option<thread::JoinHandle<()>>>,
+    batcher: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Current admission-queue depth (for stats and tests).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Begins graceful shutdown without blocking: stop admitting, close
+    /// the queue. Idempotent.
+    pub fn trigger_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+
+    /// True once shutdown has been triggered.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Triggers shutdown and joins every server thread: in-flight
+    /// requests are answered, queued work drains, connections close at
+    /// their next frame boundary.
+    pub fn shutdown_and_join(&self) {
+        self.trigger_shutdown();
+        let acceptor = self
+            .acceptor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(h) = acceptor {
+            // A panicked connection thread must not wedge shutdown.
+            let _ = h.join();
+        }
+        let batcher = self
+            .batcher
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(h) = batcher {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+fn is_wait(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Reap finished connection threads so the handle list
+                // stays bounded by the live connection count.
+                conns.retain_mut(|h| !h.is_finished());
+                if let Err(_fault) = pqfs_fault::check("server.accept") {
+                    ACCEPT_ERRORS.inc();
+                    drop(stream);
+                    continue;
+                }
+                let shared = Arc::clone(shared);
+                match thread::Builder::new()
+                    .name("pqfs-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared))
+                {
+                    Ok(h) => conns.push(h),
+                    Err(_spawn) => ACCEPT_ERRORS.inc(),
+                }
+            }
+            Err(e) if is_wait(e.kind()) => thread::sleep(shared.config.poll_interval),
+            Err(_) => thread::sleep(shared.config.poll_interval),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// RAII guard for the active-connection gauge.
+struct ActiveGuard;
+
+impl ActiveGuard {
+    fn enter() -> ActiveGuard {
+        CONNECTIONS_TOTAL.inc();
+        let now = ACTIVE.fetch_add(1, Ordering::SeqCst) + 1;
+        CONNECTIONS_ACTIVE.set(now as u64);
+        ActiveGuard
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        let now = ACTIVE.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+        CONNECTIONS_ACTIVE.set(now as u64);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _active = ActiveGuard::enter();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(peek_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FaultRead::new(read_half, "server.conn.read");
+    let mut writer = BufWriter::new(FaultWrite::new(stream, "server.conn.write"));
+
+    loop {
+        // Poll for the next frame's first byte so an *idle* connection can
+        // notice shutdown; once a frame has started, reads time out per
+        // `read_timeout` and a stalled peer becomes a protocol error.
+        let mut probe = [0u8; 1];
+        match peek_half.peek(&mut probe) {
+            Ok(0) => return, // peer closed cleanly
+            Ok(_) => {}
+            Err(e) if is_wait(e.kind()) || e.kind() == ErrorKind::Interrupted => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // frame boundary: safe to close
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+
+        if pqfs_fault::check("server.proto.decode").is_err() {
+            PROTO_ERRORS.inc();
+            send_error(
+                &mut writer,
+                ErrorCode::BadFrame,
+                "injected decode fault".to_string(),
+            );
+            return;
+        }
+
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(e) => {
+                PROTO_ERRORS.inc();
+                // Best effort: the stream cannot be resynchronized after
+                // a framing error, so describe it and hang up.
+                send_error(&mut writer, ErrorCode::BadFrame, e.to_string());
+                return;
+            }
+        };
+        let started = Instant::now();
+        let (response, close) = handle_frame(&frame, shared);
+        let frame_out = response.to_frame();
+        if write_frame(&mut writer, frame_out.kind, &frame_out.payload).is_err() {
+            return;
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+        REQUEST_NS.observe(started.elapsed());
+        if close {
+            return;
+        }
+    }
+}
+
+/// Writes a typed error frame, ignoring failures (the connection is being
+/// dropped anyway).
+fn send_error(writer: &mut impl Write, code: ErrorCode, message: String) {
+    let frame = Response::Error { code, message }.to_frame();
+    if write_frame(writer, frame.kind, &frame.payload).is_ok() {
+        let _ = writer.flush();
+    }
+}
+
+/// Decodes, validates, and executes one request frame. Returns the
+/// response and whether the connection must close afterwards.
+fn handle_frame(frame: &Frame, shared: &Arc<Shared>) -> (Response, bool) {
+    let request = match Request::from_frame(frame) {
+        Ok(req) => req,
+        Err(e) => {
+            PROTO_ERRORS.inc();
+            return (
+                Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: e.to_string(),
+                },
+                true,
+            );
+        }
+    };
+    match request {
+        Request::Health => {
+            REQ_HEALTH.inc();
+            let index = &shared.index;
+            (
+                Response::Health(HealthInfo {
+                    vectors: index.len() as u64,
+                    partitions: index.num_partitions() as u32,
+                    dim: index.dim() as u32,
+                }),
+                false,
+            )
+        }
+        Request::Stats => {
+            REQ_STATS.inc();
+            (Response::Stats(pqfs_obs::global_json_snapshot()), false)
+        }
+        Request::Query(req) => {
+            REQ_QUERY.inc();
+            (submit(req, false, shared), false)
+        }
+        Request::Batch(req) => {
+            REQ_BATCH.inc();
+            (submit(req, true, shared), false)
+        }
+    }
+}
+
+/// Validates a query request against the loaded index and the server
+/// defaults. Protocol-level range checks already ran in the codec.
+fn resolve(
+    req: &crate::proto::QueryRequest,
+    shared: &Shared,
+) -> Result<Resolved, (ErrorCode, String)> {
+    let index = &shared.index;
+    let dim = req.dim as usize;
+    if dim != index.dim() {
+        return Err((
+            ErrorCode::BadRequest,
+            format!("query dim {dim} does not match index dim {}", index.dim()),
+        ));
+    }
+    if req.count() == 0 {
+        return Err((ErrorCode::BadRequest, "empty query".to_string()));
+    }
+    let backend = if req.params.backend.is_empty() {
+        shared.config.default_backend
+    } else {
+        req.params
+            .backend
+            .parse::<SearchBackend>()
+            .map_err(|e| (ErrorCode::BadRequest, e.to_string()))?
+    };
+    let keep = req.params.keep;
+    if !keep.is_finite() || keep <= 0.0 || keep > 1.0 {
+        return Err((
+            ErrorCode::BadRequest,
+            format!("keep fraction {keep} outside (0, 1]"),
+        ));
+    }
+    Ok(Resolved {
+        topk: req.params.topk as usize,
+        nprobe: (req.params.nprobe as usize).min(index.num_partitions().max(1)),
+        keep,
+        backend,
+        deadline: if req.params.deadline_us == 0 {
+            None
+        } else {
+            Some(Duration::from_micros(req.params.deadline_us))
+        },
+    })
+}
+
+/// Admits one query/batch request into the bounded queue and waits for
+/// the batcher's answer. This is where overload turns into a typed shed
+/// response instead of unbounded queueing.
+fn submit(req: crate::proto::QueryRequest, batch: bool, shared: &Arc<Shared>) -> Response {
+    let resolved = match resolve(&req, shared) {
+        Ok(r) => r,
+        Err((code, message)) => return Response::Error { code, message },
+    };
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        dim: req.dim as usize,
+        queries: req.queries,
+        batch,
+        resolved,
+        arrival: Instant::now(),
+        reply: tx,
+    };
+    match shared.queue.push(job) {
+        Ok(depth) => QUEUE_DEPTH_HWM.record_max(depth as u64),
+        Err(PushError::Full { capacity, depth }) => {
+            SHED_TOTAL.inc();
+            return Response::Overloaded {
+                capacity: capacity as u32,
+                depth: depth as u32,
+            };
+        }
+        Err(PushError::Closed) => {
+            return Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining for shutdown".to_string(),
+            }
+        }
+    }
+    match rx.recv_timeout(shared.config.reply_timeout) {
+        Ok(response) => response,
+        Err(_) => Response::Error {
+            code: ErrorCode::SearchFailed,
+            message: "batch executor did not answer in time".to_string(),
+        },
+    }
+}
+
+/// The batcher: pops coalesced batches and executes every query of every
+/// job as one parallel wave on the shared pool.
+fn batcher_loop(shared: &Arc<Shared>) {
+    let pool = ThreadPool::global();
+    // Each query unit runs its probes inline; parallelism comes from the
+    // wave fan-out, not from nesting pools.
+    let inline = ThreadPool::new(1);
+    while let Some(jobs) = shared.queue.pop_batch(
+        shared.config.max_batch,
+        |job| job.count().max(1),
+        shared.config.max_linger,
+    ) {
+        if jobs.is_empty() {
+            continue;
+        }
+        execute_batch(&jobs, shared, pool, &inline);
+    }
+}
+
+fn execute_batch(jobs: &[Job], shared: &Arc<Shared>, pool: &ThreadPool, inline: &ThreadPool) {
+    let total_queries: usize = jobs.iter().map(Job::count).sum();
+    BATCHES_TOTAL.inc();
+    BATCH_QUERIES.observe_ns(total_queries as u64);
+    for job in jobs {
+        QUEUE_WAIT_NS.observe(job.arrival.elapsed());
+    }
+
+    if let Err(e) = pqfs_fault::check("server.batch.execute") {
+        for job in jobs {
+            let _ = job.reply.send(Response::Error {
+                code: ErrorCode::SearchFailed,
+                message: e.to_string(),
+            });
+        }
+        return;
+    }
+
+    // Flatten to (job, query-within-job) units so one slow batch frame
+    // does not serialize the wave.
+    let mut units: Vec<(usize, usize)> = Vec::with_capacity(total_queries);
+    for (j, job) in jobs.iter().enumerate() {
+        for q in 0..job.count() {
+            units.push((j, q));
+        }
+    }
+
+    let index = &shared.index;
+    let answers: Vec<Result<QueryAnswer, String>> = pool.parallel_map(&units, |_, &(j, q)| {
+        let job = &jobs[j];
+        let r = &job.resolved;
+        let query = &job.queries[q * job.dim..(q + 1) * job.dim];
+        // Queue wait counts against the request deadline: what is left
+        // of the budget is what the search may spend.
+        let budget = r.deadline.map(|d| d.saturating_sub(job.arrival.elapsed()));
+        index
+            .search_probes_budgeted_on(query, r.topk, r.backend, r.keep, r.nprobe, budget, inline)
+            .map(|outcome| QueryAnswer {
+                probes_ok: outcome.health.probes_ok as u32,
+                probes_failed: outcome.health.probes_failed as u32,
+                probes_skipped: outcome.health.probes_skipped as u32,
+                neighbors: outcome.neighbors,
+            })
+            .map_err(|e| e.to_string())
+    });
+
+    // Regroup per job and reply. Any failed query fails its whole
+    // request — partial batch answers would be ambiguous on the wire.
+    let mut cursor = 0usize;
+    for job in jobs {
+        let n = job.count();
+        let slice = &answers[cursor..cursor + n];
+        cursor += n;
+        let response = match slice.iter().find_map(|r| r.as_ref().err()) {
+            Some(msg) => Response::Error {
+                code: ErrorCode::SearchFailed,
+                message: msg.clone(),
+            },
+            None => {
+                let oks: Vec<QueryAnswer> = slice
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .cloned()
+                    .collect();
+                if job.batch {
+                    Response::Batch(oks)
+                } else {
+                    match oks.into_iter().next() {
+                        Some(answer) => Response::Query(answer),
+                        None => Response::Error {
+                            code: ErrorCode::SearchFailed,
+                            message: "query produced no answer".to_string(),
+                        },
+                    }
+                }
+            }
+        };
+        // The connection thread may have timed out and gone away; a
+        // dead receiver is not an error.
+        let _ = job.reply.send(response);
+    }
+}

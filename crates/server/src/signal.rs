@@ -1,0 +1,92 @@
+//! Minimal std-only SIGTERM/SIGINT latch for graceful shutdown.
+//!
+//! The server never *reacts* inside a signal handler — the handler only
+//! stores a flag into a static [`AtomicBool`] (one of the few operations
+//! that is async-signal-safe), and every server loop polls
+//! [`triggered`] at its natural boundary (accept poll, read timeout,
+//! batch pop). This crate binds `signal(2)` directly through the libc
+//! that std already links, keeping the workspace dependency-free; on
+//! glibc `signal` installs BSD semantics (`SA_RESTART`), which is exactly
+//! why the loops poll with timeouts instead of relying on `EINTR`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // Provided by libc, which std always links on unix. `handler` is
+        // an `extern "C" fn(i32)` pointer passed as usize so no libc
+        // types are needed.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: a single atomic store.
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        let handler = on_signal as *const () as usize;
+        // SAFETY: `signal` is the libc prototype (int, handler) -> old
+        // handler; `on_signal` is an `extern "C" fn(i32)` whose address
+        // is a valid handler for the whole program lifetime, and it
+        // performs only an async-signal-safe atomic store.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+/// Installs the SIGTERM and SIGINT handlers (idempotent). On non-unix
+/// targets this is a no-op and shutdown relies on
+/// [`crate::ServerHandle::trigger_shutdown`].
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+/// True once SIGTERM/SIGINT arrived (or [`trigger`] ran).
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Sets the flag programmatically — what the signal handler would do.
+/// Used by tests and by embedders that manage their own signals.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (tests that exercise the shutdown path repeatedly).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_sets_and_reset_clears() {
+        reset();
+        assert!(!triggered());
+        trigger();
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+    }
+}

@@ -1,0 +1,348 @@
+//! Client↔server integration over a real loopback socket: single and
+//! batch answers match direct index calls, deadlines degrade instead of
+//! failing, overload sheds with a typed response, and shutdown drains
+//! in-flight work.
+//!
+//! Every test takes [`pqfs_fault::exclusive`]: the failpoint registry is
+//! process-global, so fault-arming tests must not interleave.
+
+use pqfs_fault::{scoped, FaultAction};
+use pqfs_ivf::{IvfadcConfig, IvfadcIndex, SearchBackend};
+use pqfs_server::proto::{ErrorCode, QueryParams, Response};
+use pqfs_server::server::{Server, ServerConfig, ServerHandle};
+use pqfs_server::Client;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const DIM: usize = 16;
+const PARTITIONS: usize = 4;
+
+fn fixture_index() -> Arc<IvfadcIndex> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut gen =
+        |n: usize| -> Vec<f32> { (0..n * DIM).map(|_| rng.gen_range(0.0f32..255.0)).collect() };
+    let train = gen(1200);
+    let base = gen(400);
+    let config = IvfadcConfig::new(DIM, PARTITIONS);
+    Arc::new(IvfadcIndex::build(&train, &base, &config).expect("fixture index builds"))
+}
+
+fn start(config: ServerConfig) -> (Arc<IvfadcIndex>, ServerHandle) {
+    let index = fixture_index();
+    let handle = Server::start(Arc::clone(&index), config).expect("bind loopback");
+    (index, handle)
+}
+
+fn query_vec(seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..DIM).map(|_| rng.gen_range(0.0f32..255.0)).collect()
+}
+
+#[test]
+fn single_query_matches_direct_search() {
+    let _lock = pqfs_fault::exclusive();
+    let (index, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let health = client.health().expect("health");
+    assert_eq!(health.dim as usize, DIM);
+    assert_eq!(health.partitions as usize, PARTITIONS);
+    assert_eq!(health.vectors as usize, index.len());
+
+    for seed in 0..5 {
+        let q = query_vec(seed);
+        let params = QueryParams {
+            topk: 10,
+            nprobe: 1,
+            keep: 0.05,
+            ..QueryParams::default()
+        };
+        let response = client.query(&q, params).expect("transport ok");
+        let Response::Query(answer) = response else {
+            panic!("expected a query answer, got {response:?}");
+        };
+        let direct = index
+            .search(&q, 10, SearchBackend::FastScan, 0.05)
+            .expect("direct search");
+        let got: Vec<u64> = answer.neighbors.iter().map(|n| n.id).collect();
+        let want: Vec<u64> = direct.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, want, "served ids equal direct search (seed {seed})");
+        assert!(!answer.degraded());
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn batch_query_matches_search_batch() {
+    let _lock = pqfs_fault::exclusive();
+    let (index, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let count = 6usize;
+    let mut queries = Vec::with_capacity(count * DIM);
+    for seed in 100..100 + count as u64 {
+        queries.extend(query_vec(seed));
+    }
+    let params = QueryParams {
+        topk: 5,
+        nprobe: 1,
+        keep: 0.05,
+        ..QueryParams::default()
+    };
+    let response = client
+        .batch(&queries, DIM as u32, params)
+        .expect("transport ok");
+    let Response::Batch(answers) = response else {
+        panic!("expected batch answers, got {response:?}");
+    };
+    assert_eq!(answers.len(), count);
+    let direct = index
+        .search_batch(&queries, 5, SearchBackend::FastScan, 0.05)
+        .expect("direct batch");
+    for (i, (answer, outcome)) in answers.iter().zip(&direct).enumerate() {
+        let got: Vec<u64> = answer.neighbors.iter().map(|n| n.id).collect();
+        let want: Vec<u64> = outcome.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, want, "batch member {i}");
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn expired_deadline_degrades_instead_of_failing() {
+    let _lock = pqfs_fault::exclusive();
+    let (_index, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let q = query_vec(55);
+    let params = QueryParams {
+        topk: 10,
+        nprobe: PARTITIONS as u32,
+        keep: 0.05,
+        deadline_us: 1, // expires in the queue; only the nearest probe runs
+        ..QueryParams::default()
+    };
+    let response = client.query(&q, params).expect("transport ok");
+    let Response::Query(answer) = response else {
+        panic!("expected a query answer, got {response:?}");
+    };
+    assert!(
+        answer.probes_skipped > 0,
+        "deadline must shed probes: {answer:?}"
+    );
+    assert!(
+        answer.probes_ok >= 1,
+        "the nearest probe always runs: {answer:?}"
+    );
+    assert!(!answer.neighbors.is_empty(), "degraded, not empty");
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn overload_sheds_with_typed_response() {
+    let _lock = pqfs_fault::exclusive();
+    let config = ServerConfig {
+        queue_capacity: 1,
+        max_batch: 1,
+        max_linger: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let (_index, handle) = start(config);
+    // Every batch execution stalls 150 ms, so concurrent requests pile
+    // into the 1-slot queue and the rest must shed.
+    let _stall = scoped("server.batch.execute", FaultAction::Delay(150));
+
+    let addr = handle.local_addr();
+    let workers: Vec<_> = (0..6)
+        .map(|seed| {
+            thread::spawn(move || {
+                let mut client =
+                    Client::connect_with(addr, Some(Duration::from_secs(10))).expect("connect");
+                let q = query_vec(seed);
+                let params = QueryParams {
+                    topk: 3,
+                    nprobe: 1,
+                    keep: 0.05,
+                    ..QueryParams::default()
+                };
+                client.query(&q, params).expect("transport ok")
+            })
+        })
+        .collect();
+
+    let mut answered = 0usize;
+    let mut shed = 0usize;
+    for w in workers {
+        match w.join().expect("worker thread") {
+            Response::Query(_) => answered += 1,
+            Response::Overloaded { capacity, depth } => {
+                assert_eq!(capacity, 1);
+                assert!(depth >= 1);
+                shed += 1;
+            }
+            other => panic!("unexpected response under overload: {other:?}"),
+        }
+    }
+    assert!(answered >= 1, "some requests must still be served");
+    assert!(shed >= 1, "a full queue must shed, not stack up");
+    #[cfg(feature = "telemetry")]
+    assert!(
+        pqfs_obs::counter_value("pqfs_server_shed_total", None) >= shed as u64,
+        "shed counter records admission rejections"
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn stats_frame_returns_parseable_json() {
+    let _lock = pqfs_fault::exclusive();
+    let (_index, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let _ = client
+        .query(
+            &query_vec(9),
+            QueryParams {
+                topk: 3,
+                nprobe: 1,
+                keep: 0.05,
+                ..QueryParams::default()
+            },
+        )
+        .expect("transport ok");
+    let json = client.stats().expect("stats frame");
+    #[cfg(feature = "telemetry")]
+    {
+        let _value = pqfs_obs::jsonv::parse(&json).expect("stats snapshot parses as JSON");
+        assert!(
+            json.contains("pqfs_server_requests_total"),
+            "snapshot carries server metrics: {json}"
+        );
+    }
+    #[cfg(not(feature = "telemetry"))]
+    assert!(!json.is_empty());
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn bad_requests_get_typed_errors_and_connection_survives() {
+    let _lock = pqfs_fault::exclusive();
+    let (_index, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Wrong dimensionality.
+    let response = client
+        .query(&[1.0f32; 3], QueryParams::default())
+        .expect("transport ok");
+    let Response::Error { code, message } = response else {
+        panic!("expected an error, got {response:?}");
+    };
+    assert_eq!(code, ErrorCode::BadRequest);
+    assert!(message.contains("dim"), "{message}");
+
+    // Unknown backend name.
+    let response = client
+        .query(
+            &query_vec(1),
+            QueryParams {
+                backend: "warp-drive".to_string(),
+                ..QueryParams::default()
+            },
+        )
+        .expect("transport ok");
+    assert!(
+        matches!(
+            response,
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "unknown backend rejected: {response:?}"
+    );
+
+    // Bad keep fraction.
+    let response = client
+        .query(
+            &query_vec(2),
+            QueryParams {
+                keep: 0.0,
+                ..QueryParams::default()
+            },
+        )
+        .expect("transport ok");
+    assert!(
+        matches!(
+            response,
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "keep=0 rejected: {response:?}"
+    );
+
+    // The connection is still usable after request-level errors.
+    let health = client.health().expect("connection survived");
+    assert_eq!(health.dim as usize, DIM);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_answers_in_flight_work_then_drains() {
+    let _lock = pqfs_fault::exclusive();
+    let (_index, handle) = start(ServerConfig {
+        max_linger: Duration::ZERO,
+        ..ServerConfig::default()
+    });
+    // Stall execution long enough that shutdown fires while the request
+    // is in flight.
+    let _stall = scoped("server.batch.execute", FaultAction::Delay(150));
+
+    let addr = handle.local_addr();
+    let inflight = thread::spawn(move || {
+        let mut client =
+            Client::connect_with(addr, Some(Duration::from_secs(10))).expect("connect");
+        client
+            .query(
+                &query_vec(3),
+                QueryParams {
+                    topk: 3,
+                    nprobe: 1,
+                    keep: 0.05,
+                    ..QueryParams::default()
+                },
+            )
+            .expect("transport ok")
+    });
+    // Let the request reach the batcher, then start draining.
+    thread::sleep(Duration::from_millis(40));
+    handle.trigger_shutdown();
+
+    let response = inflight.join().expect("in-flight worker");
+    assert!(
+        matches!(response, Response::Query(_)),
+        "in-flight request answered during drain: {response:?}"
+    );
+
+    // After the queue closed, fresh work is refused with a typed error
+    // (as long as the connection is admitted before the acceptor stops).
+    if let Ok(mut late) = Client::connect_with(addr, Some(Duration::from_secs(2))) {
+        if let Ok(response) = late.query(&query_vec(4), QueryParams::default()) {
+            assert!(
+                matches!(
+                    response,
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        ..
+                    }
+                ),
+                "late request refused: {response:?}"
+            );
+        }
+    }
+    handle.shutdown_and_join();
+    assert!(handle.is_shutting_down());
+    assert_eq!(handle.queue_depth(), 0, "queue fully drained");
+}

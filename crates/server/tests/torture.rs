@@ -1,0 +1,232 @@
+//! Wire-fault torture: injected short reads, short writes, bit flips,
+//! accept failures, and decode faults must always surface as clean
+//! protocol errors or closed connections — never a panic, never a hung
+//! connection, and never a wedged server.
+//!
+//! Gated on the `failpoints` feature (default-on); each test holds
+//! [`pqfs_fault::exclusive`] because the registry is process-global, and
+//! arms with `arm_limited` so exactly one connection absorbs the fault
+//! and the follow-up liveness probe sees a healthy server.
+#![cfg(feature = "failpoints")]
+
+use pqfs_fault::{arm_limited, disarm_all, FaultAction};
+use pqfs_ivf::{IvfadcConfig, IvfadcIndex};
+use pqfs_server::proto::{ErrorCode, QueryParams, Response};
+use pqfs_server::server::{Server, ServerConfig, ServerHandle};
+use pqfs_server::{Client, ClientError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 16;
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn start_server() -> ServerHandle {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut gen =
+        |n: usize| -> Vec<f32> { (0..n * DIM).map(|_| rng.gen_range(0.0f32..255.0)).collect() };
+    let train = gen(1000);
+    let base = gen(300);
+    let config = IvfadcConfig::new(DIM, 4);
+    let index = Arc::new(IvfadcIndex::build(&train, &base, &config).expect("fixture index"));
+    Server::start(index, ServerConfig::default()).expect("bind loopback")
+}
+
+fn sample_query() -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..DIM).map(|_| rng.gen_range(0.0f32..255.0)).collect()
+}
+
+/// Sends one query into the faulted connection; the outcome must be a
+/// clean typed result — a transport error or a typed error frame, with
+/// no panic and no hang past the client timeout.
+fn faulted_roundtrip(handle: &ServerHandle) -> Result<Response, ClientError> {
+    let mut client =
+        Client::connect_with(handle.local_addr(), Some(CLIENT_TIMEOUT)).expect("connect");
+    client.query(
+        &sample_query(),
+        QueryParams {
+            topk: 3,
+            nprobe: 1,
+            keep: 0.05,
+            ..QueryParams::default()
+        },
+    )
+}
+
+/// A fresh connection after the fault must see a fully healthy server.
+fn assert_server_alive(handle: &ServerHandle) {
+    let mut probe =
+        Client::connect_with(handle.local_addr(), Some(CLIENT_TIMEOUT)).expect("reconnect");
+    let health = probe.health().expect("server still serving after fault");
+    assert_eq!(health.dim as usize, DIM);
+    let response = probe
+        .query(
+            &sample_query(),
+            QueryParams {
+                topk: 3,
+                nprobe: 1,
+                keep: 0.05,
+                ..QueryParams::default()
+            },
+        )
+        .expect("queries still answered after fault");
+    assert!(
+        matches!(response, Response::Query(_)),
+        "healthy answer after fault: {response:?}"
+    );
+}
+
+/// The acceptable outcomes of a faulted round trip: either the transport
+/// broke (typed client error) or the server answered with a typed
+/// bad-frame error. Anything else — especially a normal answer — means
+/// the fault was silently swallowed.
+fn assert_clean_failure(outcome: Result<Response, ClientError>, what: &str) {
+    match outcome {
+        Err(ClientError::Io(_)) | Err(ClientError::Proto(_)) | Err(ClientError::Disconnected) => {}
+        Ok(Response::Error {
+            code: ErrorCode::BadFrame,
+            ..
+        }) => {}
+        other => panic!("{what}: expected a clean failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn short_read_on_the_wire_is_a_clean_protocol_error() {
+    let _lock = pqfs_fault::exclusive();
+    disarm_all();
+    let handle = start_server();
+    // The server's reader hits EOF 5 bytes into the request header.
+    arm_limited("server.conn.read", FaultAction::ShortRead(5), 1);
+    assert_clean_failure(faulted_roundtrip(&handle), "short read");
+    disarm_all();
+    assert_server_alive(&handle);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn bitflip_on_the_wire_fails_the_crc_not_the_server() {
+    let _lock = pqfs_fault::exclusive();
+    disarm_all();
+    let handle = start_server();
+    // Flip a payload byte (offset past the 12-byte header) on the read
+    // path: the frame CRC must catch it.
+    arm_limited("server.conn.read", FaultAction::BitFlip(20), 1);
+    let outcome = faulted_roundtrip(&handle);
+    assert_clean_failure(outcome, "read bitflip");
+    disarm_all();
+    assert_server_alive(&handle);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn bitflip_in_the_header_is_rejected() {
+    let _lock = pqfs_fault::exclusive();
+    disarm_all();
+    let handle = start_server();
+    // Flip the first magic byte.
+    arm_limited("server.conn.read", FaultAction::BitFlip(0), 1);
+    assert_clean_failure(faulted_roundtrip(&handle), "header bitflip");
+    disarm_all();
+    assert_server_alive(&handle);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn short_write_of_the_response_drops_the_connection_cleanly() {
+    let _lock = pqfs_fault::exclusive();
+    disarm_all();
+    let handle = start_server();
+    // The server's response write tears after 6 bytes; the client must
+    // see a truncated frame or a hangup, never a hang.
+    arm_limited("server.conn.write", FaultAction::ShortWrite(6), 1);
+    let outcome = faulted_roundtrip(&handle);
+    assert!(
+        outcome.is_err(),
+        "torn response must not parse: {outcome:?}"
+    );
+    disarm_all();
+    assert_server_alive(&handle);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn read_error_mid_frame_is_contained() {
+    let _lock = pqfs_fault::exclusive();
+    disarm_all();
+    let handle = start_server();
+    arm_limited("server.conn.read", FaultAction::Error, 1);
+    assert_clean_failure(faulted_roundtrip(&handle), "read error");
+    disarm_all();
+    assert_server_alive(&handle);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn accept_fault_drops_the_connection_but_not_the_acceptor() {
+    let _lock = pqfs_fault::exclusive();
+    disarm_all();
+    let handle = start_server();
+    arm_limited("server.accept", FaultAction::Error, 1);
+    // The connection is accepted by the kernel then dropped by the
+    // server; the round trip must fail cleanly.
+    let outcome = faulted_roundtrip(&handle);
+    assert!(
+        outcome.is_err(),
+        "dropped-at-accept connection must error: {outcome:?}"
+    );
+    disarm_all();
+    assert_server_alive(&handle);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn decode_fault_answers_bad_frame_and_closes() {
+    let _lock = pqfs_fault::exclusive();
+    disarm_all();
+    let handle = start_server();
+    arm_limited("server.proto.decode", FaultAction::Error, 1);
+    assert_clean_failure(faulted_roundtrip(&handle), "decode fault");
+    disarm_all();
+    assert_server_alive(&handle);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn raw_garbage_bytes_get_a_typed_error_never_a_hang() {
+    let _lock = pqfs_fault::exclusive();
+    disarm_all();
+    let handle = start_server();
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(CLIENT_TIMEOUT))
+        .expect("timeout");
+    stream
+        .write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+        .expect("write garbage");
+    // The server answers with a typed bad-frame error (or just hangs
+    // up); either way the read terminates.
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    if !buf.is_empty() {
+        let frame = pqfs_server::read_frame(&mut &buf[..])
+            .expect("server speaks its own protocol even on garbage input")
+            .expect("one frame");
+        let response = Response::from_frame(&frame).expect("typed error frame");
+        assert!(
+            matches!(
+                response,
+                Response::Error {
+                    code: ErrorCode::BadFrame,
+                    ..
+                }
+            ),
+            "garbage answered with bad-frame: {response:?}"
+        );
+    }
+    assert_server_alive(&handle);
+    handle.shutdown_and_join();
+}

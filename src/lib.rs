@@ -25,7 +25,9 @@
 //! * [`columnar`] — the §6 generalization to compressed column scans;
 //! * [`fault`] — deterministic fault injection (failpoints) used to test
 //!   the persistence and degraded-search paths; armed via the
-//!   `PQFS_FAILPOINTS` environment variable, a no-op when disarmed.
+//!   `PQFS_FAILPOINTS` environment variable, a no-op when disarmed;
+//! * [`server`] — the TCP serving layer: length-prefixed binary protocol,
+//!   request batching with admission control, graceful shutdown.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +69,7 @@ pub use pqfs_kmeans as kmeans;
 pub use pqfs_metrics as metrics;
 pub use pqfs_pool as pool;
 pub use pqfs_scan as scan;
+pub use pqfs_server as server;
 
 /// The most common imports in one place.
 pub mod prelude {
